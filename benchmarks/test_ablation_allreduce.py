@@ -1,0 +1,65 @@
+"""Ablation: allreduce algorithm choice (tree / ring / rhd / hierarchical).
+
+Not a paper table — this sweeps the design space behind the paper's
+``log(P)·t_comm`` iteration-time term and shows why production stacks pick
+ring (bandwidth-bound) or hierarchical (asymmetric fabrics) for |W|-sized
+gradients.
+"""
+
+import numpy as np
+import pytest
+
+from repro.comm import (
+    NetworkProfile,
+    allreduce_cost,
+    hierarchical_cost,
+    run_cluster,
+)
+from repro.experiments.report import format_table
+from repro.nn.models import paper_model_cost
+from repro.perfmodel import network
+
+from .conftest import run_once
+
+PROCS = [8, 64, 512, 2048]
+
+
+def sweep():
+    nbytes = paper_model_cost("resnet50").model_bytes
+    opa = network("opa")
+    shm = NetworkProfile(alpha=1e-7, beta=1e-12, name="intra-node")
+    rows = []
+    for p in PROCS:
+        rows.append(
+            {
+                "processors": p,
+                "tree_ms": allreduce_cost(p, nbytes, opa, "tree") * 1e3,
+                "ring_ms": allreduce_cost(p, nbytes, opa, "ring") * 1e3,
+                "rhd_ms": allreduce_cost(p, nbytes, opa, "rhd") * 1e3,
+                "hierarchical_ms": hierarchical_cost(p, nbytes, 64, shm, opa, "ring") * 1e3,
+            }
+        )
+    return rows
+
+
+def test_ablation_allreduce(benchmark):
+    rows = run_once(benchmark, sweep)
+    print("\n== ablation: allreduce algorithm cost, ResNet-50 gradients on OPA ==")
+    print(format_table(["processors", "tree_ms", "ring_ms", "rhd_ms",
+                        "hierarchical_ms"], rows))
+
+    for r in rows:
+        # the tree algorithm's log(P) full-message hops are never best at
+        # scale for |W|-sized payloads
+        if r["processors"] >= 64:
+            assert r["ring_ms"] < r["tree_ms"]
+            assert r["rhd_ms"] < r["tree_ms"]
+        # hierarchical with 64-rank nodes beats the flat tree everywhere
+        assert r["hierarchical_ms"] <= r["tree_ms"]
+
+    # simulated-fabric cross-check at small P: ring moves ~2n bytes/rank
+    def worker(comm):
+        comm.allreduce(np.zeros(1000), algorithm="ring")
+
+    _, fabric = run_cluster(4, worker)
+    assert fabric.stats.bytes == pytest.approx(2 * (4 - 1) * 4 * 1000 * 8 / 4, rel=0.01)

@@ -1,0 +1,70 @@
+"""Ablation: SGD vs LARS vs LAMB at very large batch.
+
+LAMB (You et al. 2019) is the line of work this paper's conclusion points
+toward; the ablation checks that both layer-wise schemes survive the
+32K-equivalent batch that kills plain SGD + linear scaling.
+"""
+
+import numpy as np
+
+from repro.core import LAMB, Trainer, iterations_per_epoch, paper_schedule
+from repro.experiments.proxy import (
+    RESNET_BASE_BATCH,
+    ProxyRun,
+    SCALES,
+    proxy_dataset,
+    resnet_proxy_batch,
+    run_proxy,
+)
+from repro.experiments.report import format_table
+
+from .conftest import SCALE, run_once
+
+
+def lamb_accuracy(batch: int, scale: str) -> float:
+    """LAMB run outside ProxyRun (its own LR regime: no linear scaling)."""
+    s = SCALES[scale]
+    ds = proxy_dataset(scale)
+    cfg = ProxyRun("resnet", batch, 0.05)  # model builder reuse
+    model = cfg.build_model(s)
+    ipe = iterations_per_epoch(ds.n_train, batch)
+    sched = paper_schedule(0.02, s.epochs * ipe, 2 * ipe)
+    opt = LAMB(model.parameters(), weight_decay=0.0005)
+    trainer = Trainer(model, opt, sched, shuffle_seed=1)
+    with np.errstate(all="ignore"):
+        res = trainer.fit(ds.x_train, ds.y_train, ds.x_test, ds.y_test,
+                          epochs=s.epochs, batch_size=batch)
+    return res.peak_test_accuracy
+
+
+def sweep(scale):
+    batch = resnet_proxy_batch(32768)
+    peak = 0.05 * batch / RESNET_BASE_BATCH
+    baseline = run_proxy(ProxyRun("resnet", RESNET_BASE_BATCH, 0.05), scale)
+    sgd = run_proxy(ProxyRun("resnet", batch, peak, warmup_epochs=2), scale)
+    lars = run_proxy(
+        ProxyRun("resnet", batch, peak, warmup_epochs=2, use_lars=True,
+                 trust_coefficient=0.01),
+        scale,
+    )
+    lamb = lamb_accuracy(batch, scale)
+    return [
+        {"optimizer": "SGD small-batch baseline", "batch": RESNET_BASE_BATCH,
+         "accuracy": baseline.peak_test_accuracy},
+        {"optimizer": "SGD + linear scaling", "batch": batch,
+         "accuracy": sgd.peak_test_accuracy},
+        {"optimizer": "LARS", "batch": batch, "accuracy": lars.peak_test_accuracy},
+        {"optimizer": "LAMB (extension)", "batch": batch, "accuracy": lamb},
+    ]
+
+
+def test_ablation_optimizers(benchmark):
+    rows = run_once(benchmark, sweep, SCALE)
+    print("\n== ablation: optimisers at the 32K-equivalent batch ==")
+    print(format_table(["optimizer", "batch", "accuracy"], rows))
+
+    baseline, sgd, lars, lamb = (r["accuracy"] for r in rows)
+    # plain SGD collapses; both layer-wise schemes stay in the game
+    assert sgd < baseline - 0.2
+    assert lars > sgd + 0.2
+    assert lamb > sgd + 0.2

@@ -1,0 +1,47 @@
+"""Ablation: LARS trust-coefficient sensitivity at large batch.
+
+The paper inherits η from the LARS reference implementation; this sweep
+shows the usable band is wide (an order of magnitude) — the robustness that
+made LARS practical — while extreme values degrade.
+"""
+
+import numpy as np
+
+from repro.experiments.proxy import (
+    RESNET_BASE_BATCH,
+    ProxyRun,
+    resnet_proxy_batch,
+    run_proxy,
+)
+from repro.experiments.report import format_table
+
+from .conftest import SCALE, run_once
+
+TRUSTS = [0.001, 0.005, 0.01, 0.02, 0.1]
+
+
+def sweep(scale):
+    batch = resnet_proxy_batch(16384)
+    peak = 0.05 * batch / RESNET_BASE_BATCH
+    rows = []
+    for eta in TRUSTS:
+        res = run_proxy(
+            ProxyRun("resnet", batch, peak, warmup_epochs=2, use_lars=True,
+                     trust_coefficient=eta),
+            scale,
+        )
+        rows.append({"trust_coefficient": eta, "accuracy": res.peak_test_accuracy})
+    return rows
+
+
+def test_ablation_trust_coefficient(benchmark):
+    rows = run_once(benchmark, sweep, SCALE)
+    print("\n== ablation: LARS trust coefficient at 16K-equivalent batch ==")
+    print(format_table(["trust_coefficient", "accuracy"], rows))
+
+    accs = {r["trust_coefficient"]: r["accuracy"] for r in rows}
+    best = max(accs.values())
+    # a wide usable band: at least three settings within 0.15 of the best
+    good = [eta for eta, a in accs.items() if a > best - 0.15]
+    assert len(good) >= 3
+    assert best > 0.8

@@ -1,0 +1,20 @@
+"""Bench for Figure 10 — communication volume |W|·E·n/B."""
+
+from repro.experiments import figure10
+
+from .conftest import SCALE, run_once
+
+
+def test_figure10_volume(benchmark):
+    result = run_once(benchmark, figure10.run, scale=SCALE)
+    print("\n" + result.format())
+
+    rows = {r["batch_size"]: r for r in result.rows}
+    # volume halves as batch doubles
+    for b in [512, 1024, 2048]:
+        assert abs(rows[b]["alexnet_volume_TB"] / rows[2 * b]["alexnet_volume_TB"] - 2) < 0.05
+    # AlexNet (61M params) moves more bytes than ResNet-50 (25.5M) at every
+    # batch size, despite ResNet's 5x higher per-image compute — the
+    # scaling-ratio asymmetry
+    for r in result.rows:
+        assert r["alexnet_volume_TB"] > r["resnet50_volume_TB"]

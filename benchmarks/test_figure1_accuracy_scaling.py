@@ -1,0 +1,20 @@
+"""Bench for Figure 1 — LARS's accuracy-scaling advantage."""
+
+from repro.experiments import figure1
+
+from .conftest import SCALE, run_once
+
+
+def test_figure1_accuracy_scaling(benchmark):
+    result = run_once(benchmark, figure1.run, scale=SCALE)
+    print("\n" + result.format())
+
+    rows = {r["paper_batch"]: r for r in result.rows}
+    # small-batch end: the two series roughly coincide
+    assert abs(rows[256]["gap_proxy"]) < 0.1
+    # very-large-batch end: LARS wins by a clear margin, like the paper's
+    # 0.724 vs 0.754 (32K) and 0.660 vs 0.732 (64K)
+    assert rows[32768]["gap_proxy"] > 0.1
+    assert rows[65536]["gap_proxy"] > 0.1
+    # the gap widens with batch beyond the 8K point
+    assert rows[32768]["gap_proxy"] > rows[8192]["gap_proxy"]

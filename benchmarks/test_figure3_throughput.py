@@ -1,0 +1,19 @@
+"""Bench for Figure 3 — single-GPU throughput vs per-GPU batch."""
+
+from repro.experiments import figure3
+
+from .conftest import SCALE, run_once
+
+
+def test_figure3_throughput(benchmark):
+    result = run_once(benchmark, figure3.run, scale=SCALE)
+    print("\n" + result.format())
+
+    rows = {r["batch_per_gpu"]: r for r in result.rows}
+    # speed rises with batch while memory lasts
+    feasible = [r for r in result.rows if r["status"] == "ok"]
+    speeds = [r["images_per_second"] for r in feasible]
+    assert speeds == sorted(speeds)
+    # batch 512 is the best feasible point; 1024 is out of memory
+    assert feasible[-1]["batch_per_gpu"] == 512
+    assert rows[1024]["status"] == "OUT OF MEMORY"

@@ -1,0 +1,24 @@
+"""Bench for Figure 4 — 16K/32K training curves with and without LARS."""
+
+from repro.experiments import figure4
+
+from .conftest import SCALE, run_once
+
+
+def test_figure4_lars_curves(benchmark):
+    result = run_once(benchmark, figure4.run, scale=SCALE)
+    print("\n" + result.format())
+
+    def final(paper_batch, lars):
+        pts = [r for r in result.rows
+               if r["paper_batch"] == paper_batch and r["lars"] == lars]
+        return max(r["test_accuracy"] for r in pts)
+
+    # at both batch sizes LARS ends clearly above the no-LARS run
+    assert final(16384, True) > final(16384, False)
+    assert final(32768, True) > final(32768, False) + 0.15
+    # without LARS, 32K is worse than 16K (the paper's 0.56 < 0.68)
+    assert final(32768, False) <= final(16384, False) + 0.02
+    # every curve has one point per epoch
+    epochs = {r["epoch"] for r in result.rows}
+    assert len(epochs) >= 8

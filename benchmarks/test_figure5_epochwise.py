@@ -1,0 +1,22 @@
+"""Bench for Figure 5 — all LARS batch sizes reach target in fixed epochs."""
+
+from repro.experiments import figure5
+
+from .conftest import SCALE, run_once
+
+
+def test_figure5_epochwise(benchmark):
+    result = run_once(benchmark, figure5.run, scale=SCALE)
+    print("\n" + result.format())
+
+    finals = {}
+    for pb in {r["paper_batch"] for r in result.rows}:
+        pts = [r for r in result.rows if r["paper_batch"] == pb]
+        finals[pb] = max(r["test_accuracy"] for r in pts)
+
+    baseline = finals[512]
+    # every large-batch LARS run lands in the baseline's band
+    for pb, acc in finals.items():
+        assert acc > baseline - 0.12, (pb, acc)
+    # all four paper batch sizes are present
+    assert set(finals) == {512, 4096, 8192, 32768}

@@ -1,0 +1,14 @@
+"""Bench for Figure 6 — flop budget is batch-independent at fixed epochs."""
+
+from repro.experiments import figure6
+
+from .conftest import SCALE, run_once
+
+
+def test_figure6_flops(benchmark):
+    result = run_once(benchmark, figure6.run, scale=SCALE)
+    print("\n" + result.format())
+
+    flops = {r["analytic_total_Pflops"] for r in result.rows}
+    assert len(flops) == 1  # constant across batch sizes
+    assert all(r["epoch_flops_constant"] for r in result.rows)

@@ -1,0 +1,21 @@
+"""Bench for Figure 7 — large batch reaches target accuracy sooner
+(simulated cluster wall-clock)."""
+
+from repro.experiments import figure7
+
+from .conftest import SCALE, run_once
+
+
+def test_figure7_time_to_accuracy(benchmark):
+    result = run_once(benchmark, figure7.run, scale=SCALE)
+    print("\n" + result.format())
+
+    small, large = result.rows
+    # both configurations learn
+    assert small["final_accuracy"] > 0.5
+    assert large["final_accuracy"] > 0.5
+    # the large-batch run finishes the same epochs in less simulated time
+    assert large["sim_seconds_total"] < small["sim_seconds_total"]
+    # and reaches the shared target sooner (when both reach it)
+    if small["sim_seconds_to_target"] and large["sim_seconds_to_target"]:
+        assert large["sim_seconds_to_target"] < small["sim_seconds_to_target"]

@@ -1,0 +1,19 @@
+"""Bench for Figure 8 — iterations fall as 1/B."""
+
+from repro.experiments import figure8
+
+from .conftest import SCALE, run_once
+
+
+def test_figure8_iterations(benchmark):
+    result = run_once(benchmark, figure8.run, scale=SCALE)
+    print("\n" + result.format())
+
+    rows = {r["batch_size"]: r for r in result.rows}
+    # halving relation across the whole sweep (100-epoch column; ceil(n/B)
+    # leaves a sub-percent rounding sliver)
+    for b in [512, 1024, 2048, 4096]:
+        ratio = rows[b]["iterations_100ep"] / rows[2 * b]["iterations_100ep"]
+        assert abs(ratio - 2) < 0.01
+    # the paper's 32K numbers: 40 iterations/epoch
+    assert rows[32768]["iterations_90ep"] == 3600

@@ -1,0 +1,19 @@
+"""Bench for Figure 9 — message count tracks iteration count."""
+
+from repro.experiments import figure9
+
+from .conftest import SCALE, run_once
+
+
+def test_figure9_messages(benchmark):
+    result = run_once(benchmark, figure9.run, scale=SCALE)
+    print("\n" + result.format())
+
+    for r in result.rows:
+        # messages proportional to iterations (the paper's claim)
+        assert r["messages_simple_model"] % r["iterations"] == 0
+    # monotone decreasing in batch size
+    msgs = [r["messages_simple_model"] for r in result.rows]
+    assert msgs == sorted(msgs, reverse=True)
+    # the fabric measurement in the notes confirmed proportionality
+    assert "Measured on the simulated fabric" in result.notes

@@ -1,0 +1,17 @@
+"""Bench for Table 11 — interconnect constants and fabric consistency."""
+
+from repro.experiments import table11
+
+from .conftest import SCALE, run_once
+
+
+def test_table11_networks(benchmark):
+    result = run_once(benchmark, table11.run, scale=SCALE)
+    print("\n" + result.format())
+
+    for r in result.rows:
+        # profiles match the paper's table exactly
+        assert r["alpha_us"] == r["paper_alpha_us"]
+        assert r["beta_ns_per_byte"] == r["paper_beta_ns"]
+        # the simulated fabric charges exactly alpha + beta*n
+        assert abs(r["fabric_1MiB_ms"] - r["model_1MiB_ms"]) < 1e-9

@@ -1,0 +1,18 @@
+"""Bench for Table 12 — the 45nm energy table and its consequence."""
+
+from repro.experiments import table12
+
+from .conftest import SCALE, run_once
+
+
+def test_table12_energy(benchmark):
+    result = run_once(benchmark, table12.run, scale=SCALE)
+    print("\n" + result.format())
+
+    rows = {r["operation"]: r for r in result.rows}
+    assert rows["32 bit DRAM access"]["energy_pJ"] == 640.0
+    assert rows["32 bit float multiply"]["energy_pJ"] == 3.7
+    # communication rows dominate computation rows of the same width
+    assert (rows["32 bit DRAM access"]["energy_pJ"]
+            > 100 * rows["32 bit float multiply"]["energy_pJ"])
+    assert rows["32 bit SRAM access"]["energy_pJ"] > rows["32 bit float add"]["energy_pJ"]

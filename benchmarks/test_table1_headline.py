@@ -1,0 +1,19 @@
+"""Bench for Table 1 — the 14-minute / 74.9 % headline."""
+
+from repro.experiments import table1
+
+from .conftest import SCALE, run_once
+
+
+def test_table1_headline(benchmark):
+    result = run_once(benchmark, table1.run, scale=SCALE)
+    print("\n" + result.format())
+
+    ours = result.row_by("work", "ours (perfmodel, 64 ep, 2048 KNLs)")
+    # time side: the 64-epoch prediction must beat Akiba's 15 minutes and
+    # land near the paper's 14
+    assert ours["time_min"] < 15.0
+    assert 10.0 < ours["time_min"] < 15.0
+    # accuracy side: the shortened-budget proxy run still learns (the
+    # paper's 64-epoch run lands just under its 90-epoch accuracy)
+    assert ours["accuracy"] is not None and ours["accuracy"] > 0.45

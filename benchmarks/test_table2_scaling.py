@@ -1,0 +1,23 @@
+"""Bench for Table 2 — iterations/total-time scaling with batch size."""
+
+from repro.experiments import table2
+
+from .conftest import SCALE, run_once
+
+
+def test_table2_scaling(benchmark):
+    result = run_once(benchmark, table2.run, scale=SCALE)
+    print("\n" + result.format())
+
+    rows = {r["batch_size"]: r for r in result.rows}
+    # the paper's iteration column, verbatim
+    assert rows[512]["iterations"] == 250_000
+    assert rows[8192]["iterations"] == 15_625
+    assert rows[1_280_000]["iterations"] == 100
+    # GPU count grows linearly with batch (512 per machine)
+    assert rows[4096]["gpus"] == 8
+    # total time falls monotonically as batch (and P) grow
+    hours = [r["total_hours"] for r in result.rows]
+    assert hours == sorted(hours, reverse=True)
+    # near-linear speedup while compute-bound: 512 -> 8192 gives > 8x
+    assert rows[512]["total_hours"] / rows[8192]["total_hours"] > 8

@@ -1,0 +1,21 @@
+"""Bench for Table 3 — accuracy targets and proxy baselines."""
+
+from repro.experiments import table3
+
+from .conftest import SCALE, run_once
+
+
+def test_table3_baselines(benchmark):
+    result = run_once(benchmark, table3.run, scale=SCALE)
+    print("\n" + result.format())
+
+    alex = result.row_by("model", "AlexNet")
+    res = result.row_by("model", "ResNet-50")
+    # the paper's targets encoded exactly
+    assert alex["paper_target_top1"] == 0.58
+    assert res["paper_target_top1"] == 0.753
+    # proxy baselines learn well above chance (8 classes -> 0.125)
+    assert alex["proxy_baseline_top1"] > 0.7
+    assert res["proxy_baseline_top1"] > 0.7
+    # ResNet proxy >= AlexNet proxy, matching the paper's model ordering
+    assert res["proxy_baseline_top1"] >= alex["proxy_baseline_top1"] - 0.05

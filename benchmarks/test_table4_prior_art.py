@@ -1,0 +1,20 @@
+"""Bench for Table 4 — linear scaling + warmup works up to ×8–×32."""
+
+from repro.experiments import table4
+
+from .conftest import SCALE, run_once
+
+
+def test_table4_prior_art(benchmark):
+    result = run_once(benchmark, table4.run, scale=SCALE)
+    print("\n" + result.format())
+
+    ours = [r for r in result.rows if r["source"] == "ours"]
+    assert len(ours) == 3
+    for r in ours:
+        # in the prior-art regime the accuracy loss is modest (the paper's
+        # Table 4 rows lose at most ~1 point)
+        assert r["large_acc"] > r["baseline_acc"] - 0.15, r
+    # the paper rows are reproduced verbatim
+    fb = result.row_by("team", "Facebook (Goyal 2017)")
+    assert fb["large_batch"] == 8192 and fb["large_acc"] == 0.7626

@@ -1,0 +1,22 @@
+"""Bench for Table 5 — no LR setting rescues large-batch AlexNet w/o LARS."""
+
+from repro.experiments import table5
+
+from .conftest import SCALE, run_once
+
+
+def test_table5_lr_sweep(benchmark):
+    result = run_once(benchmark, table5.run, scale=SCALE)
+    print("\n" + result.format())
+
+    baseline = result.rows[0]["accuracy"]
+    sweep = result.rows[1:]
+    best_tuned = max(r["accuracy"] for r in sweep)
+    linear = result.row_by("role", "linear-scaled LR")["accuracy"]
+
+    # (a) every large-batch setting loses accuracy vs the baseline
+    assert best_tuned < baseline - 0.02
+    # (b) the linearly-scaled LR is far below the best tuned setting
+    #     (the paper's 0.001-vs-0.531 collapse)
+    assert linear < best_tuned
+    assert linear < baseline - 0.15

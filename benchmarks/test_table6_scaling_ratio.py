@@ -1,0 +1,21 @@
+"""Bench for Table 6 — model size / flops / scaling ratio."""
+
+from repro.experiments import table6
+
+from .conftest import SCALE, run_once
+
+
+def test_table6_scaling_ratio(benchmark):
+    result = run_once(benchmark, table6.run, scale=SCALE)
+    print("\n" + result.format())
+
+    alex = result.row_by("model", "alexnet")
+    res = result.row_by("model", "resnet50")
+    # parameters within 2% of the paper
+    assert abs(alex["parameters_M"] - 61) / 61 < 0.02
+    assert abs(res["parameters_M"] - 25.5) / 25 < 0.05
+    # flops within ~12% (we count BN/pool too)
+    assert abs(alex["flops_per_image_G"] - 1.5) / 1.5 < 0.10
+    assert abs(res["flops_per_image_G"] - 7.7) / 7.7 < 0.12
+    # the headline factor: ResNet-50 scales ~12.5x more easily
+    assert 10 < res["scaling_ratio"] / alex["scaling_ratio"] < 16

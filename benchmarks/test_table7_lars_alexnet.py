@@ -1,0 +1,20 @@
+"""Bench for Table 7 — LARS holds AlexNet accuracy across batch sizes."""
+
+from repro.experiments import table7
+
+from .conftest import SCALE, run_once
+
+
+def test_table7_lars_alexnet(benchmark):
+    result = run_once(benchmark, table7.run, scale=SCALE)
+    print("\n" + result.format())
+
+    by_batch = {r["paper_batch"]: r for r in result.rows}
+    baseline = by_batch[512]["proxy_accuracy"]
+    # every LARS row stays within a band of the baseline (the paper's rows
+    # are within 0.2 points of each other; the proxy gets a wider but still
+    # tight band)
+    for pb in (4096, 8192, 32768):
+        assert by_batch[pb]["proxy_accuracy"] > baseline - 0.12, pb
+    # paper accuracies encoded verbatim
+    assert by_batch[32768]["paper_accuracy"] == 0.585

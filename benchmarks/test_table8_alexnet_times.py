@@ -1,0 +1,22 @@
+"""Bench for Table 8 — AlexNet time-to-train across hardware."""
+
+from repro.experiments import table8
+
+from .conftest import SCALE, run_once
+
+
+def test_table8_alexnet_times(benchmark):
+    result = run_once(benchmark, table8.run, scale=SCALE)
+    print("\n" + result.format())
+
+    for r in result.rows:
+        # every predicted time within 1.5x of the measured paper row
+        assert 1 / 1.5 < r["ratio"] < 1.5, r
+
+    rows = {(r["batch_size"], r["hardware"]): r for r in result.rows}
+    # the 11-minute headline
+    headline = rows[(32768, "1024 CPUs")]
+    assert headline["predicted_time_min"] < 15
+    # large batch beats small batch on the same DGX-1 (Figure 7's premise)
+    assert (rows[(4096, "DGX-1 station")]["predicted_time_min"]
+            < rows[(512, "DGX-1 station")]["predicted_time_min"] / 2)

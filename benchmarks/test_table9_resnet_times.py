@@ -1,0 +1,24 @@
+"""Bench for Table 9 — ResNet-50 time-to-train across hardware."""
+
+from repro.experiments import table9
+
+from .conftest import SCALE, run_once
+
+
+def test_table9_resnet_times(benchmark):
+    result = run_once(benchmark, table9.run, scale=SCALE)
+    print("\n" + result.format())
+
+    for r in result.rows:
+        assert 1 / 1.5 < r["ratio"] < 1.5, r
+
+    # the 20-minute headline: 2048 KNLs, 90 epochs
+    headline = [r for r in result.rows
+                if r["hardware"] == "2048 KNLs" and r["epochs"] == 90][0]
+    assert 14 < headline["predicted_time_min"] < 26
+    # 64-epoch variant beats Akiba's 15 minutes
+    fast = [r for r in result.rows if r["epochs"] == 64][0]
+    assert fast["predicted_time_min"] < 15
+    # scaling out helps: 2048 KNLs beat 512 KNLs at the same batch
+    knl512 = [r for r in result.rows if r["hardware"] == "512 KNLs"][0]
+    assert headline["predicted_time_min"] < knl512["predicted_time_min"]

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Synchronous allreduce SGD vs an asynchronous parameter server.
+
+The paper chooses synchronous SGD because "asynchronous methods using
+parameter server are not guaranteed to be stable on large-scale systems".
+This example makes that argument concrete on the simulated cluster:
+
+* the sync run is sequentially consistent — identical result at any P;
+* the async (Downpour-style) run applies gradients that are ~P−1 updates
+  stale; staleness grows with worker count and, at an aggressive learning
+  rate, accuracy degrades and eventually diverges.
+
+Run:  python examples/async_vs_sync.py
+"""
+
+from repro.cluster import (
+    ParamServerConfig,
+    SyncSGDConfig,
+    train_param_server,
+    train_sync_sgd,
+)
+from repro.core import SGD, ConstantLR, iterations_per_epoch
+from repro.data import make_dataset
+from repro.nn.models import mlp
+
+LR = 0.2  # aggressive on purpose: stresses the async scheme
+EPOCHS, BATCH = 6, 32
+
+
+def main() -> None:
+    ds = make_dataset(num_classes=6, image_size=8, train_size=768,
+                      test_size=192, noise=1.0, seed=3)
+
+    def builder():
+        return mlp(3 * 64, [48], 6, flatten_input=True, seed=2)
+
+    def opt_builder(params):
+        return SGD(params, momentum=0.9, weight_decay=0.0)
+
+    total_updates = EPOCHS * iterations_per_epoch(ds.n_train, BATCH)
+
+    print(f"{'scheme':<28} {'workers':>7} {'accuracy':>9} {'staleness':>10}")
+    for workers in (2, 4, 16):
+        sync_cfg = SyncSGDConfig(world=workers, epochs=EPOCHS, batch_size=BATCH,
+                                 shuffle_seed=4)
+        sync = train_sync_sgd(builder, opt_builder, ConstantLR(LR),
+                              ds.x_train, ds.y_train, ds.x_test, ds.y_test,
+                              sync_cfg)
+        async_cfg = ParamServerConfig(workers=workers, total_updates=total_updates,
+                                      batch_size=BATCH // 2, compute_time=1.0,
+                                      compute_jitter=0.2, seed=5)
+        ps = train_param_server(builder, opt_builder, ConstantLR(LR),
+                                ds.x_train, ds.y_train, ds.x_test, ds.y_test,
+                                async_cfg)
+        print(f"{'sync allreduce':<28} {workers:>7} "
+              f"{sync.final_test_accuracy:>9.3f} {'0 (exact)':>10}")
+        status = "DIVERGED" if ps.diverged else f"{ps.final_test_accuracy:.3f}"
+        print(f"{'async parameter server':<28} {workers:>7} {status:>9} "
+              f"{ps.mean_staleness:>10.1f}")
+    print("\nSync results are identical at every P (sequential consistency); "
+          "async staleness grows with P and hurts at aggressive LRs.")
+
+
+if __name__ == "__main__":
+    main()

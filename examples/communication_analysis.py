@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""The paper's communication analysis, end to end.
+
+Reproduces the quantitative story of Tables 2/6/11/12 and Figures 8-10 for
+both models: iteration counts, message counts, byte volumes, allreduce
+algorithm choice, weak-scaling efficiency, and the energy split.
+
+Run:  python examples/communication_analysis.py
+"""
+
+from repro.comm import allreduce_cost
+from repro.core import IMAGENET_TRAIN_SIZE
+from repro.nn.models import paper_model_cost
+from repro.perfmodel import (
+    comm_volume_bytes,
+    device,
+    iterations,
+    network,
+    training_energy,
+    weak_scaling_efficiency,
+)
+
+BATCHES = [512, 4096, 32768]
+
+
+def main() -> None:
+    alex = paper_model_cost("alexnet")
+    res = paper_model_cost("resnet50")
+
+    print("== scaling ratios (Table 6) ==")
+    for c in (alex, res):
+        print(f"  {c.name:<10} |W|={c.parameters / 1e6:6.1f}M "
+              f"flops/image={c.flops_per_image / 1e9:5.2f}G "
+              f"ratio={c.scaling_ratio:6.1f}")
+
+    print("\n== iterations and gradient traffic at fixed epochs (Figs 8/10) ==")
+    for b in BATCHES:
+        it = iterations(90, IMAGENET_TRAIN_SIZE, b)
+        vol = comm_volume_bytes(res, 90, IMAGENET_TRAIN_SIZE, b)
+        print(f"  batch {b:>6}: {it:>7} iterations, "
+              f"{vol / 1e12:6.2f} TB of ResNet-50 gradients")
+
+    print("\n== allreduce algorithm choice, 512 ranks, ResNet-50 |W| (Table 11 nets) ==")
+    for netname in ("fdr", "qdr", "10gbe"):
+        prof = network(netname)
+        costs = {a: allreduce_cost(512, res.model_bytes, prof, a)
+                 for a in ("tree", "ring", "rhd")}
+        best = min(costs, key=costs.get)
+        pretty = ", ".join(f"{a}={t * 1e3:7.1f}ms" for a, t in costs.items())
+        print(f"  {prof.name:<28} {pretty}  -> best: {best}")
+
+    print("\n== weak-scaling efficiency at 64 images/device (Table 6's punchline) ==")
+    for procs in (16, 128, 1024):
+        ea = weak_scaling_efficiency(alex, procs, 64, device("knl"), network("qdr"))
+        er = weak_scaling_efficiency(res, procs, 64, device("knl"), network("qdr"))
+        print(f"  P={procs:>5}: AlexNet {ea:5.1%}   ResNet-50 {er:5.1%}")
+
+    print("\n== energy split of 90-epoch ResNet-50 training (Table 12) ==")
+    for b in BATCHES:
+        e = training_energy(res, 90, IMAGENET_TRAIN_SIZE, b)
+        print(f"  batch {b:>6}: compute {e.compute_joules / 1e6:8.1f} MJ, "
+              f"gradient movement {e.comm_joules / 1e3:8.2f} kJ "
+              f"({e.comm_fraction:.3%} of total)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Watch LARS's layer-wise trust ratios during training.
+
+The motivation for LARS: the ratio ‖w‖/‖∇w‖ differs by orders of magnitude
+across the layers of one network, so a single global learning rate is either
+too hot for the smallest-ratio layer or too cold for the largest.  This
+script trains a small conv net at a 32x batch and prints each layer's trust
+ratio over time — the per-layer learning rates LARS actually applies.
+
+Run:  python examples/lars_trust_ratios.py
+"""
+
+import numpy as np
+
+from repro.core import LARS, iterations_per_epoch, paper_schedule
+from repro.data import make_dataset
+from repro.nn.losses import SoftmaxCrossEntropy
+from repro.nn.models import micro_alexnet
+from repro.util import sparkline
+
+EPOCHS, BATCH = 8, 256
+
+
+def main() -> None:
+    ds = make_dataset(num_classes=8, image_size=12, train_size=1024,
+                      test_size=256, noise=1.0, seed=0)
+    model = micro_alexnet(num_classes=8, image_size=12, width=8, hidden=64,
+                          norm="bn", seed=1)
+    opt = LARS(model.parameters(), trust_coefficient=0.01, momentum=0.9,
+               weight_decay=0.0005)
+    ipe = iterations_per_epoch(ds.n_train, BATCH)
+    sched = paper_schedule(0.05 * 32, EPOCHS * ipe, warmup_iterations=ipe)
+    loss_fn = SoftmaxCrossEntropy()
+
+    history: dict[str, list[float]] = {}
+    it = 0
+    rng = np.random.default_rng(3)
+    for epoch in range(EPOCHS):
+        order = rng.permutation(ds.n_train)
+        for lo in range(0, ds.n_train, BATCH):
+            idx = order[lo : lo + BATCH]
+            model.train()
+            opt.zero_grad()
+            logits = model.forward(ds.x_train[idx])
+            loss_fn.forward(logits, ds.y_train[idx])
+            model.backward(loss_fn.backward())
+            ratios = opt.trust_ratios()
+            for name, r in ratios.items():
+                history.setdefault(name, []).append(r)
+            opt.step(sched(it))
+            it += 1
+
+    # weights only (excluded params report ratio 1.0 — uninformative)
+    rows = [(n, vals) for n, vals in history.items()
+            if not np.allclose(vals, 1.0)]
+    rows.sort(key=lambda r: -np.mean(r[1]))
+    print(f"{'layer':<38}{'mean ratio':>11}   ratio over iterations")
+    for name, vals in rows:
+        print(f"{name:<38}{np.mean(vals):>11.2f}   {sparkline(vals[:64])}")
+    spread = max(np.mean(v) for _, v in rows) / min(np.mean(v) for _, v in rows)
+    print(f"\ntrust ratios span a {spread:.0f}x range across layers — the "
+          "spread a single global LR cannot serve, and the reason linear "
+          "scaling alone collapses at large batch (Table 5) while LARS "
+          "does not (Table 7).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Model parallelism (Figure 2b): partition a network across simulated
+machines and verify it computes exactly the single-machine result.
+
+The paper: "Partitioning the neural network means parallelizing the matrix
+operations on the partitioned network.  Thus, model parallelism can get the
+same solution as the single-machine case" — and "only those nodes with
+edges that cross partition boundaries will need to have their state
+communicated".
+
+This example builds a 2-layer MLP twice: once serially, once with its
+hidden layer's columns spread over 4 simulated ranks (Megatron-style
+column→row pairing, one allreduce per pair), and compares outputs, then
+contrasts the communication volumes of model vs data parallelism for the
+same network — the reason the paper (and everyone since) picks data
+parallelism for ImageNet-scale models.
+
+Run:  python examples/model_parallelism.py
+"""
+
+import numpy as np
+
+from repro.cluster import ColumnParallelDense, RowParallelDense
+from repro.comm import run_cluster
+from repro.nn import Dense
+from repro.nn.initializers import xavier, zeros
+
+IN, HIDDEN, OUT, BATCH, WORLD = 32, 256, 10, 64, 4
+
+
+def serial_reference(x):
+    rng1, rng2 = np.random.default_rng(1), np.random.default_rng(2)
+    l1 = Dense(IN, HIDDEN, rng=np.random.default_rng(9))
+    l1.weight.data[...] = xavier((IN, HIDDEN), rng1)
+    l1.bias.data[...] = zeros((HIDDEN,), rng1)
+    l2 = Dense(HIDDEN, OUT, rng=np.random.default_rng(9))
+    l2.weight.data[...] = xavier((HIDDEN, OUT), rng2)
+    l2.bias.data[...] = zeros((OUT,), rng2)
+    return l2.forward(np.maximum(l1.forward(x), 0.0))
+
+
+def main() -> None:
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(BATCH, IN))
+    expected = serial_reference(x)
+
+    def worker(comm):
+        l1 = ColumnParallelDense(comm, IN, HIDDEN, gather_output=False, seed=1)
+        l2 = RowParallelDense(comm, HIDDEN, OUT, input_is_partitioned=True, seed=2)
+        hidden_local = np.maximum(l1.forward(x), 0.0)
+        out = l2.forward(hidden_local)
+        return out, hidden_local.shape[1]
+
+    results, fabric = run_cluster(WORLD, worker)
+    out0, local_width = results[0]
+    err = np.abs(out0 - expected).max()
+    print(f"hidden layer: {HIDDEN} units split as {WORLD} x {local_width}")
+    print(f"max |model-parallel - serial| = {err:.2e}  (exact to fp)")
+    print(f"boundary traffic: {fabric.stats.messages} messages, "
+          f"{fabric.stats.bytes / 1e3:.1f} KB for one forward pass")
+
+    # why the paper uses data parallelism: per-iteration bytes comparison
+    params = IN * HIDDEN + HIDDEN + HIDDEN * OUT + OUT
+    data_parallel_bytes = params * 8  # one gradient allreduce, ~|W|
+    activations_bytes = BATCH * OUT * 8 * (WORLD - 1)  # row-layer reduction
+    print(f"\nper-iteration communication, this network:")
+    print(f"  data parallelism  ~ |W|        = {data_parallel_bytes / 1e3:8.1f} KB")
+    print(f"  model parallelism ~ activations = {activations_bytes / 1e3:8.1f} KB")
+    print("For ImageNet-scale inputs the activations term stays small per "
+          "boundary, but so few boundaries exist that most matrices would "
+          "need only 'one or two machines' (the paper) — data parallelism "
+          "is what scales to thousands.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""repro — a from-scratch reproduction of *ImageNet Training in Minutes*
+(You, Zhang, Hsieh, Demmel, Keutzer; ICPP 2018).
+
+Subpackages
+-----------
+``repro.core``
+    The paper's contribution: LARS, momentum SGD, the linear-scaling /
+    warmup / poly-decay schedule algebra, the serial trainer, and the
+    paper's recipes as data.
+``repro.nn``
+    A from-scratch numpy DNN framework with AlexNet/AlexNet-BN/ResNet-50
+    definitions and the flop/parameter accounting behind Table 6.
+``repro.comm``
+    Simulated MPI: thread-per-rank fabric with α-β cost accounting and
+    tree/ring/recursive-halving-doubling collectives.
+``repro.cluster``
+    Synchronous data-parallel SGD (allreduce and master-worker modes) and
+    the asynchronous parameter-server baseline.
+``repro.perfmodel``
+    The α-β-γ analytic performance model, device/interconnect profiles
+    (Tables 11/12) and the energy model.
+``repro.data``
+    Synthetic ImageNet proxies, augmentation regimes, sharded loaders.
+``repro.experiments``
+    One driver per paper table/figure (``python -m repro.experiments``).
+"""
+
+from . import cluster, comm, core, data, nn, perfmodel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "nn",
+    "comm",
+    "cluster",
+    "perfmodel",
+    "data",
+    "__version__",
+]

@@ -1,0 +1,184 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands
+--------
+``train``
+    Train a proxy model with any optimiser/recipe combination, serially or
+    on a simulated cluster.
+``predict``
+    Query the α-β-γ performance model for an ImageNet-scale configuration.
+``experiments``
+    Alias for ``python -m repro.experiments``.
+``info``
+    Print the model zoo's cost table and the available devices/networks.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+
+def _add_train_parser(sub) -> None:
+    p = sub.add_parser("train", help="train a proxy model")
+    p.add_argument("--model", default="micro_resnet",
+                   choices=["micro_resnet", "micro_alexnet", "mlp"])
+    p.add_argument("--optimizer", default="lars",
+                   choices=["sgd", "lars", "lamb", "adam"])
+    p.add_argument("--batch", type=int, default=64)
+    p.add_argument("--base-batch", type=int, default=8)
+    p.add_argument("--base-lr", type=float, default=0.05)
+    p.add_argument("--epochs", type=int, default=10)
+    p.add_argument("--warmup-epochs", type=float, default=1.0)
+    p.add_argument("--trust", type=float, default=0.01)
+    p.add_argument("--dataset", default="small", choices=["tiny", "small", "medium"])
+    p.add_argument("--world", type=int, default=1,
+                   help="simulated ranks (1 = serial)")
+    p.add_argument("--seed", type=int, default=0)
+
+
+def _add_predict_parser(sub) -> None:
+    p = sub.add_parser("predict", help="predict ImageNet training time")
+    p.add_argument("--model", default="resnet50",
+                   choices=["alexnet", "alexnet_bn", "resnet50", "resnet18", "resnet34"])
+    p.add_argument("--epochs", type=int, default=90)
+    p.add_argument("--batch", type=int, default=32768)
+    p.add_argument("--processors", type=int, default=2048)
+    p.add_argument("--device", default="knl")
+    p.add_argument("--network", default="opa")
+    p.add_argument("--algorithm", default="ring", choices=["tree", "ring", "rhd"])
+
+
+def cmd_train(args) -> int:
+    """``repro train``: train a proxy model, serially or on simulated ranks."""
+    from .core import LAMB, LARS, SGD, Adam, iterations_per_epoch, paper_schedule
+    from .core.trainer import Trainer
+    from .data import proxy_dataset
+    from .nn.models import build_model
+
+    ds = proxy_dataset(args.dataset)
+    kwargs = {"num_classes": ds.num_classes, "seed": args.seed}
+    if args.model == "micro_alexnet":
+        kwargs["image_size"] = ds.input_shape[-1]
+    if args.model == "mlp":
+        model = build_model("mlp", in_features=int(np.prod(ds.input_shape)),
+                            hidden=[64], num_classes=ds.num_classes,
+                            flatten_input=True, seed=args.seed)
+    else:
+        model = build_model(args.model, **kwargs)
+
+    peak = args.base_lr * args.batch / args.base_batch
+    ipe = iterations_per_epoch(ds.n_train, min(args.batch, ds.n_train))
+    schedule = paper_schedule(peak, args.epochs * ipe,
+                              round(args.warmup_epochs * ipe))
+    builders = {
+        "sgd": lambda p: SGD(p, momentum=0.9, weight_decay=0.0005),
+        "lars": lambda p: LARS(p, trust_coefficient=args.trust,
+                               momentum=0.9, weight_decay=0.0005),
+        "lamb": lambda p: LAMB(p, weight_decay=0.0005),
+        "adam": lambda p: Adam(p, weight_decay=0.0005),
+    }
+    opt_builder = builders[args.optimizer]
+
+    print(f"{args.model}: {model.num_parameters():,} parameters; "
+          f"batch {args.batch} ({args.batch / args.base_batch:.0f}x baseline), "
+          f"peak lr {peak:.3g}, {args.optimizer}")
+
+    if args.world > 1:
+        from .cluster import SyncSGDConfig, train_sync_sgd
+
+        model_seed = args.seed
+
+        def builder():
+            if args.model == "mlp":
+                return build_model("mlp", in_features=int(np.prod(ds.input_shape)),
+                                   hidden=[64], num_classes=ds.num_classes,
+                                   flatten_input=True, seed=model_seed)
+            return build_model(args.model, **kwargs)
+
+        config = SyncSGDConfig(world=args.world, epochs=args.epochs,
+                               batch_size=args.batch, shuffle_seed=args.seed)
+        res = train_sync_sgd(builder, opt_builder, schedule,
+                             ds.x_train, ds.y_train, ds.x_test, ds.y_test, config)
+        print(f"final test accuracy: {res.final_test_accuracy:.4f} "
+              f"({args.world} simulated ranks, {res.messages} messages)")
+    else:
+        trainer = Trainer(model, opt_builder(model.parameters()), schedule,
+                          shuffle_seed=args.seed)
+        with np.errstate(all="ignore"):
+            res = trainer.fit(ds.x_train, ds.y_train, ds.x_test, ds.y_test,
+                              epochs=args.epochs,
+                              batch_size=min(args.batch, ds.n_train),
+                              callback=lambda r: print(
+                                  f"  epoch {r.epoch:3d}  loss {r.train_loss:7.4f}  "
+                                  f"test {r.test_accuracy:.4f}"))
+        print(f"peak test accuracy: {res.peak_test_accuracy:.4f}")
+    return 0
+
+
+def cmd_predict(args) -> int:
+    """``repro predict``: query the performance model for one configuration."""
+    from .core import IMAGENET_TRAIN_SIZE
+    from .nn.models import paper_model_cost
+    from .perfmodel import device, estimate_training_time, network
+
+    est = estimate_training_time(
+        paper_model_cost(args.model),
+        epochs=args.epochs,
+        dataset_size=IMAGENET_TRAIN_SIZE,
+        global_batch=args.batch,
+        processors=args.processors,
+        device=device(args.device),
+        net=network(args.network),
+        algorithm=args.algorithm,
+    )
+    b = est.iteration
+    print(f"{args.model}, {args.epochs} epochs, batch {args.batch}, "
+          f"{args.processors}x {est.device}, {args.algorithm} allreduce")
+    print(f"  iterations:        {est.iterations:,}")
+    print(f"  local batch:       {b.local_batch:.1f}")
+    print(f"  t_iter:            {b.total_seconds * 1e3:.1f} ms "
+          f"(compute {b.compute_seconds * 1e3:.1f} + comm {b.comm_seconds * 1e3:.1f})")
+    print(f"  comm fraction:     {b.comm_fraction:.1%}")
+    print(f"  throughput:        {est.images_per_second:,.0f} images/s")
+    print(f"  total time:        {est.total_minutes:.1f} minutes "
+          f"({est.total_hours:.2f} h)")
+    return 0
+
+
+def cmd_info(args) -> int:
+    """``repro info``: print the model/device/network tables."""
+    from .nn.models import PAPER_INPUT_SHAPES, paper_model_cost
+    from .perfmodel import DEVICES, NETWORKS
+
+    print("== model zoo (full-size paper models) ==")
+    for name in PAPER_INPUT_SHAPES:
+        c = paper_model_cost(name)
+        print(f"  {name:<12} {c.parameters / 1e6:7.1f} M params   "
+              f"{c.flops_per_image / 1e9:6.2f} Gflop/image   "
+              f"ratio {c.scaling_ratio:7.1f}")
+    print("\n== devices ==")
+    for key, d in DEVICES.items():
+        print(f"  {key:<9} {d.name:<28} peak {d.peak_flops / 1e12:5.1f} Tflops")
+    print("\n== networks ==")
+    for key, n in NETWORKS.items():
+        print(f"  {key:<9} {n.name:<28} alpha {n.alpha * 1e6:5.2f} us  "
+              f"beta {n.beta * 1e9:5.3f} ns/B")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Console entry point (see module docstring for the commands)."""
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+    _add_train_parser(sub)
+    _add_predict_parser(sub)
+    sub.add_parser("info", help="print model/device/network tables")
+    args = parser.parse_args(argv)
+    return {"train": cmd_train, "predict": cmd_predict, "info": cmd_info}[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

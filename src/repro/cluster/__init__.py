@@ -1,0 +1,52 @@
+"""``repro.cluster`` — distributed training on the simulated cluster.
+
+Synchronous data-parallel SGD (the paper's algorithm, allreduce and
+master-worker variants) and the asynchronous parameter-server baseline it is
+contrasted with.
+"""
+
+from .compression import (
+    CompressionStats,
+    Compressor,
+    NoCompression,
+    OneBitCompressor,
+    TopKCompressor,
+    UniformQuantizer,
+    compressed_allreduce,
+)
+from .easgd import EASGDConfig, EASGDResult, train_easgd
+from .model_parallel import ColumnParallelDense, RowParallelDense, partition_bounds
+from .packing import flatten_grads, flatten_params, unflatten_grads, unflatten_params
+from .param_server import ParamServerConfig, ParamServerResult, train_param_server
+from .sharding import epoch_permutation, shard_batch, shard_sizes, shard_slice
+from .sync_sgd import ClusterResult, SyncSGDConfig, train_sync_sgd
+
+__all__ = [
+    "SyncSGDConfig",
+    "ClusterResult",
+    "train_sync_sgd",
+    "EASGDConfig",
+    "EASGDResult",
+    "train_easgd",
+    "ParamServerConfig",
+    "ParamServerResult",
+    "train_param_server",
+    "Compressor",
+    "NoCompression",
+    "OneBitCompressor",
+    "TopKCompressor",
+    "UniformQuantizer",
+    "compressed_allreduce",
+    "CompressionStats",
+    "ColumnParallelDense",
+    "RowParallelDense",
+    "partition_bounds",
+    "shard_batch",
+    "shard_sizes",
+    "shard_slice",
+    "epoch_permutation",
+    "flatten_grads",
+    "unflatten_grads",
+    "flatten_params",
+    "unflatten_params",
+]

@@ -1,0 +1,324 @@
+"""Synchronous data-parallel SGD on the simulated cluster.
+
+This is the algorithm the paper scales: every rank holds a full model
+replica, computes gradients on its shard of the global batch, the gradients
+are summed across ranks (allreduce, or gather-update-broadcast through a
+master — Figure 2(a)), and every replica applies the *same* update.
+
+Sequential consistency — the property the paper leans on ("all valid
+parallel implementations of the algorithm match the behavior of the
+sequential version") — holds by construction: the allreduced gradient is the
+same global-batch mean the serial trainer computes, every rank sees a
+bit-identical copy, and the optimiser arithmetic is identical.  Tests verify
+P-worker runs match the serial large-batch run to fp tolerance.  The one
+deliberate exception is BatchNorm, whose statistics are per-shard (exactly
+as in the paper's Caffe/MLSL stacks); models without BN match the serial run
+to ~1e-10, models with BN agree only statistically.
+
+Simulated time: ranks advance their logical clocks by a caller-supplied
+``compute_time(n_local_examples)`` before communicating, and the fabric
+charges α-β time for every message, so ``ClusterResult.simulated_seconds``
+is the α-β-γ critical path of the whole training run — the quantity
+Tables 2/8/9 report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..comm import Communicator, NetworkProfile, run_cluster
+from ..core.metrics import EpochRecord, top1_accuracy
+from ..core.optimizer import Optimizer
+from ..core.schedules import ConstantLR, Schedule
+from ..nn.layers.base import Module
+from ..nn.layers.norm import SyncBatchNorm
+from ..nn.losses import SoftmaxCrossEntropy
+from .packing import flatten_grads, flatten_params, unflatten_grads, unflatten_params
+from .sharding import epoch_permutation, shard_batch
+
+__all__ = ["SyncSGDConfig", "ClusterResult", "train_sync_sgd"]
+
+
+@dataclass(frozen=True)
+class SyncSGDConfig:
+    """Cluster-run configuration.
+
+    Parameters
+    ----------
+    world:
+        Number of simulated ranks P.
+    epochs, batch_size:
+        Fixed-epoch budget and *global* batch size (split across ranks).
+    mode:
+        ``"allreduce"`` — decentralised gradient allreduce (production);
+        ``"master"`` — Figure 2(a): gradients reduce to rank 0, rank 0
+        updates, new weights broadcast.
+    algorithm:
+        Allreduce algorithm (``tree``/``ring``/``rhd``) for allreduce mode
+        and for the reduce/bcast trees in master mode.
+    profile:
+        α-β network profile; ``None`` = free network (pure correctness).
+    compute_time:
+        Maps a rank's local example count to simulated seconds of
+        forward+backward work (plug in ``repro.perfmodel`` here).  ``None``
+        charges no compute time.
+    compressor_factory:
+        Optional ``() -> Compressor`` enabling compressed gradient exchange
+        (allreduce mode only): each rank keeps its own stateful compressor
+        (error feedback is per-worker) and the wire carries compressed
+        payloads.  ``None`` = full-precision exchange.
+    shuffle_seed:
+        Must match the serial trainer's for consistency comparisons.
+    eval_every:
+        Evaluate on rank 0 every k epochs (1 = every epoch).
+    """
+
+    world: int
+    epochs: int
+    batch_size: int
+    mode: str = "allreduce"
+    algorithm: str = "tree"
+    profile: NetworkProfile | None = None
+    compute_time: Callable[[int], float] | None = None
+    compressor_factory: Callable[[], object] | None = None
+    shuffle_seed: int = 0
+    eval_every: int = 1
+    #: restart support: epoch to resume from plus the states to load (every
+    #: rank loads the same snapshot — replicas are identical by construction)
+    start_epoch: int = 0
+    initial_model_state: dict | None = None
+    initial_optimizer_state: dict | None = None
+
+    def __post_init__(self):
+        if self.world <= 0:
+            raise ValueError("world must be positive")
+        if self.mode not in ("allreduce", "master"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        from ..comm.collectives import ALLREDUCE_ALGORITHMS
+
+        if self.algorithm not in ALLREDUCE_ALGORITHMS:
+            raise ValueError(
+                f"unknown algorithm {self.algorithm!r}; "
+                f"available: {sorted(ALLREDUCE_ALGORITHMS)}"
+            )
+        if self.algorithm == "rhd" and self.world & (self.world - 1):
+            raise ValueError("rhd allreduce requires a power-of-two world")
+        if self.batch_size < self.world:
+            raise ValueError(
+                f"global batch {self.batch_size} smaller than world {self.world}"
+            )
+        if not 0 <= self.start_epoch < self.epochs:
+            raise ValueError("start_epoch must be in [0, epochs)")
+        if self.compressor_factory is not None and self.mode != "allreduce":
+            raise ValueError("compressed exchange requires allreduce mode")
+
+
+@dataclass
+class ClusterResult:
+    """Outcome of a simulated cluster training run."""
+
+    history: list[EpochRecord] = field(default_factory=list)
+    simulated_seconds: float = 0.0
+    messages: int = 0
+    comm_bytes: int = 0
+    #: (epoch, simulated seconds at epoch end, test accuracy) — Figure 7
+    time_curve: list[tuple[int, float, float]] = field(default_factory=list)
+    final_state: dict | None = None
+    #: rank 0's optimiser state (identical on every rank in allreduce mode) —
+    #: together with ``final_state`` this is a complete restart checkpoint
+    final_optimizer_state: dict | None = None
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.history[-1].test_accuracy if self.history else 0.0
+
+    @property
+    def peak_test_accuracy(self) -> float:
+        return max((r.test_accuracy for r in self.history), default=0.0)
+
+    def time_to_accuracy(self, target: float) -> float | None:
+        """Simulated seconds until test accuracy first reaches ``target``."""
+        for _, t, acc in self.time_curve:
+            if acc >= target:
+                return t
+        return None
+
+
+def _sync_gradient_allreduce(
+    comm: Communicator,
+    model: Module,
+    weight: float,
+    algorithm: str,
+    compressor=None,
+) -> None:
+    """Decentralised mode: allreduce shard-weighted gradients in place,
+    optionally through a gradient compressor (1-bit / top-k / quantised)."""
+    params = model.parameters()
+    flat = flatten_grads(params) * weight
+    if compressor is not None:
+        from .compression import compressed_allreduce
+
+        total = compressed_allreduce(comm, flat, compressor)
+    else:
+        total = comm.allreduce(flat, algorithm=algorithm)
+    unflatten_grads(total, params)
+
+
+def _sync_gradient_master(
+    comm: Communicator,
+    model: Module,
+    optimizer: Optimizer,
+    weight: float,
+    lr: float,
+) -> None:
+    """Figure 2(a) mode: reduce to master, master updates, weights broadcast.
+
+    Only rank 0's optimiser state advances; worker replicas just load the
+    broadcast weights, exactly like parameter-server-style sync SGD.
+    """
+    params = model.parameters()
+    flat = flatten_grads(params) * weight
+    total = comm.reduce(flat, root=0)
+    if comm.rank == 0:
+        unflatten_grads(total, params)
+        optimizer.step(lr)
+        new_weights = flatten_params(params)
+    else:
+        new_weights = None
+    new_weights = comm.bcast(new_weights, root=0)
+    if comm.rank != 0:
+        unflatten_params(new_weights, params)
+
+
+def train_sync_sgd(
+    model_builder: Callable[[], Module],
+    optimizer_builder: Callable[[Sequence], Optimizer],
+    schedule: Schedule | float,
+    x_train: np.ndarray,
+    y_train: np.ndarray,
+    x_test: np.ndarray,
+    y_test: np.ndarray,
+    config: SyncSGDConfig,
+) -> ClusterResult:
+    """Run synchronous data-parallel SGD on a simulated cluster.
+
+    ``model_builder`` must be deterministic (same weights every call) — each
+    rank builds its own replica and consistency depends on identical
+    initialisation, mirroring a real cluster's synchronised weight init.
+    """
+    sched = ConstantLR(schedule) if isinstance(schedule, (int, float)) else schedule
+    n = len(x_train)
+    loss_fn_proto = SoftmaxCrossEntropy
+
+    def worker(comm: Communicator):
+        model = model_builder()
+        optimizer = optimizer_builder(model.parameters())
+        loss_fn = loss_fn_proto()
+        if config.initial_model_state is not None:
+            model.load_state_dict(config.initial_model_state)
+        if config.initial_optimizer_state is not None:
+            optimizer.load_state_dict(config.initial_optimizer_state)
+        iteration = config.start_epoch * -(-n // config.batch_size)
+        history: list[EpochRecord] = []
+        time_curve: list[tuple[int, float, float]] = []
+
+        # SyncBatchNorm layers need this rank's communicator; their presence
+        # switches the gradient protocol to pre-scaling (see below).
+        sync_bn = [m for m in model.modules() if isinstance(m, SyncBatchNorm)]
+        for bn in sync_bn:
+            bn.set_comm(comm)
+        uses_sync_bn = bool(sync_bn)
+        compressor = (
+            config.compressor_factory() if config.compressor_factory else None
+        )
+
+        for epoch in range(config.start_epoch, config.epochs):
+            order = epoch_permutation(n, epoch, config.shuffle_seed)
+            loss_sum = 0.0
+            correct_sum = 0.0
+            seen = 0
+            for lo in range(0, n, config.batch_size):
+                global_idx = order[lo : lo + config.batch_size]
+                local_idx = shard_batch(global_idx, config.world, comm.rank)
+                gbs = len(global_idx)
+                lr = sched(iteration)
+                # local loss gradients are means over the shard; weighting
+                # by |shard|/|global batch| makes the cross-rank sum the
+                # exact global-batch mean even when shards are uneven
+                weight = len(local_idx) / gbs
+
+                model.train()
+                optimizer.zero_grad()
+                # With SyncBatchNorm every rank must join the collective
+                # forward/backward, even on an empty shard, and the loss
+                # gradient is pre-scaled so BN's global reductions see
+                # consistent per-example 1/N scaling.
+                if len(local_idx) > 0 or uses_sync_bn:
+                    xb, yb = x_train[local_idx], y_train[local_idx]
+                    logits = model.forward(xb)
+                    batch_loss = loss_fn.forward(logits, yb)
+                    grad = loss_fn.backward()
+                    if uses_sync_bn:
+                        grad = grad * weight
+                    model.backward(grad)
+                    if len(local_idx) > 0:
+                        loss_sum += batch_loss * len(local_idx)
+                        correct_sum += top1_accuracy(logits, yb) * len(local_idx)
+                        seen += len(local_idx)
+                        if config.compute_time is not None:
+                            comm.compute(config.compute_time(len(local_idx)))
+                combine_weight = 1.0 if uses_sync_bn else weight
+
+                if config.mode == "allreduce":
+                    _sync_gradient_allreduce(comm, model, combine_weight,
+                                             config.algorithm, compressor)
+                    optimizer.step(lr)
+                else:
+                    _sync_gradient_master(comm, model, optimizer, combine_weight, lr)
+                iteration += 1
+
+            # per-epoch metric aggregation: one tiny allreduce
+            stats = comm.allreduce(np.array([loss_sum, correct_sum, float(seen)]))
+            if comm.rank == 0:
+                test_acc = float("nan")
+                if (epoch + 1) % config.eval_every == 0 or epoch == config.epochs - 1:
+                    model.eval()
+                    preds = []
+                    for elo in range(0, len(x_test), 512):
+                        preds.append(model.forward(x_test[elo : elo + 512]))
+                    test_acc = top1_accuracy(np.concatenate(preds), y_test)
+                history.append(
+                    EpochRecord(
+                        epoch=epoch + 1,
+                        train_loss=stats[0] / max(stats[2], 1.0),
+                        train_accuracy=stats[1] / max(stats[2], 1.0),
+                        test_accuracy=test_acc,
+                        learning_rate=sched(max(iteration - 1, 0)),
+                        iterations=-(-n // config.batch_size),
+                    )
+                )
+                time_curve.append((epoch + 1, comm.time, test_acc))
+
+        if comm.rank == 0:
+            return {
+                "history": history,
+                "time_curve": time_curve,
+                "state": model.state_dict(),
+                "optimizer_state": optimizer.state_dict(),
+            }
+        return None
+
+    results, fabric = run_cluster(config.world, worker, profile=config.profile)
+    root = results[0]
+    return ClusterResult(
+        history=root["history"],
+        simulated_seconds=fabric.makespan,
+        messages=fabric.stats.messages,
+        comm_bytes=fabric.stats.bytes,
+        time_curve=root["time_curve"],
+        final_state=root["state"],
+        final_optimizer_state=root["optimizer_state"],
+    )

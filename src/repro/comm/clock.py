@@ -1,0 +1,51 @@
+"""Per-rank logical clocks for the simulated cluster.
+
+Real wall-clock time on the simulating machine is irrelevant (one laptop
+plays 2048 KNLs); instead every rank carries a logical clock measured in
+simulated seconds.  Local work advances the clock explicitly; receiving a
+message merges the sender's completion time (Lamport-style ``max``), so the
+final clock of any rank is the length of its critical path — exactly the
+quantity the paper's α-β analysis (Table 2) predicts.
+"""
+
+from __future__ import annotations
+
+import threading
+
+__all__ = ["LogicalClock"]
+
+
+class LogicalClock:
+    """Monotone simulated-time counter for one rank.
+
+    Thread-safe: the owning rank advances it, and the fabric merges arrival
+    times from sender threads.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._time = float(start)
+        self._lock = threading.Lock()
+
+    @property
+    def time(self) -> float:
+        with self._lock:
+            return self._time
+
+    def advance(self, dt: float) -> float:
+        """Add ``dt`` simulated seconds of local work; returns the new time."""
+        if dt < 0:
+            raise ValueError(f"cannot advance clock by negative dt {dt}")
+        with self._lock:
+            self._time += dt
+            return self._time
+
+    def merge(self, t: float) -> float:
+        """Lamport merge: fast-forward to ``t`` if it is in the future."""
+        with self._lock:
+            if t > self._time:
+                self._time = t
+            return self._time
+
+    def reset(self, t: float = 0.0) -> None:
+        with self._lock:
+            self._time = float(t)

@@ -1,0 +1,272 @@
+"""Collective algorithms over point-to-point messaging, plus their analytic
+α-β costs.
+
+Three allreduce algorithms are provided, covering the design space the
+paper's Table 2 sketches (its ``log(P) · t_comm`` iteration-time column is
+the binomial-tree cost):
+
+========================  =========================  ==========================
+algorithm                 messages on critical path  bytes on critical path
+========================  =========================  ==========================
+``tree``  (binomial)      2·⌈log₂P⌉                  2·⌈log₂P⌉·n
+``ring``                  2·(P−1)                    2·(P−1)·n/P ≈ 2n
+``rhd`` (recursive        2·log₂P                    2·n·(1−1/P)
+halving-doubling)
+========================  =========================  ==========================
+
+Every function takes a duck-typed ``comm`` exposing ``rank``, ``size``,
+``send(dst, payload, tag)`` and ``recv(src, tag)``; the real implementation
+is :class:`repro.comm.communicator.Communicator`.  All algorithms reduce with
+exact elementwise addition in rank-deterministic order, so every rank
+computes bit-identical results — the foundation of the sequential-consistency
+guarantee.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from .fabric import NetworkProfile
+
+__all__ = [
+    "bcast_tree",
+    "reduce_tree",
+    "allreduce_tree",
+    "allreduce_ring",
+    "allreduce_rhd",
+    "allgather_ring",
+    "barrier_dissemination",
+    "ALLREDUCE_ALGORITHMS",
+    "allreduce_cost",
+    "allreduce_message_count",
+    "bcast_cost",
+    "reduce_cost",
+]
+
+
+def _vrank(rank: int, root: int, size: int) -> int:
+    return (rank - root) % size
+
+
+def _actual(vrank: int, root: int, size: int) -> int:
+    return (vrank + root) % size
+
+
+def bcast_tree(comm, value, root: int = 0, tag: int = 0):
+    """Binomial-tree broadcast: ⌈log₂P⌉ stages, P−1 messages total."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return value
+    v = _vrank(rank, root, size)
+    mask = 1
+    while mask < size:
+        if v < mask:
+            dst = v + mask
+            if dst < size:
+                comm.send(_actual(dst, root, size), value, tag=tag)
+        elif v < 2 * mask:
+            value = comm.recv(_actual(v - mask, root, size), tag=tag)
+        mask <<= 1
+    return value
+
+
+def reduce_tree(comm, array: np.ndarray, root: int = 0, tag: int = 0):
+    """Binomial-tree sum-reduction to ``root``.
+
+    Children are accumulated in ascending-mask order on every rank, so the
+    floating-point summation order is deterministic.  Non-root ranks return
+    ``None``.
+    """
+    size, rank = comm.size, comm.rank
+    acc = np.array(array, dtype=np.float64, copy=True)
+    if size == 1:
+        return acc
+    v = _vrank(rank, root, size)
+    mask = 1
+    while mask < size:
+        if v & mask:
+            comm.send(_actual(v - mask, root, size), acc, tag=tag)
+            return None
+        src = v + mask
+        if src < size:
+            acc += comm.recv(_actual(src, root, size), tag=tag)
+        mask <<= 1
+    return acc
+
+
+def allreduce_tree(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
+    """reduce-to-0 followed by broadcast — the paper's log(P) model."""
+    reduced = reduce_tree(comm, array, root=0, tag=tag)
+    return bcast_tree(comm, reduced, root=0, tag=tag + 1)
+
+
+def allreduce_ring(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
+    """Ring allreduce: reduce-scatter then ring allgather.
+
+    Bandwidth-optimal (each rank moves ≈2n bytes regardless of P); this is
+    the algorithm production stacks (NCCL, MLSL) use for large gradient
+    tensors.
+    """
+    if comm.size == 1:
+        return np.array(array, dtype=np.float64, copy=True)
+    size, rank = comm.size, comm.rank
+    flat = np.asarray(array, dtype=np.float64).ravel().copy()
+    chunks = np.array_split(flat, size)
+    offsets = np.cumsum([0] + [len(c) for c in chunks])
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+
+    # reduce-scatter: after P-1 steps, rank owns the full sum of chunk
+    # (rank+1) % size
+    for step in range(size - 1):
+        send_idx = (rank - step) % size
+        recv_idx = (rank - step - 1) % size
+        comm.send(right, flat[offsets[send_idx] : offsets[send_idx + 1]], tag=tag)
+        incoming = comm.recv(left, tag=tag)
+        flat[offsets[recv_idx] : offsets[recv_idx + 1]] += incoming
+
+    # allgather: circulate the completed chunks
+    for step in range(size - 1):
+        send_idx = (rank - step + 1) % size
+        recv_idx = (rank - step) % size
+        comm.send(right, flat[offsets[send_idx] : offsets[send_idx + 1]], tag=tag + 1)
+        incoming = comm.recv(left, tag=tag + 1)
+        flat[offsets[recv_idx] : offsets[recv_idx + 1]] = incoming
+
+    return flat.reshape(np.asarray(array).shape)
+
+
+def allreduce_rhd(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
+    """Recursive halving-doubling allreduce (power-of-two ranks only).
+
+    Latency-optimal message count (2·log₂P) with near-bandwidth-optimal
+    volume (2n·(1−1/P)); Rabenseifner's algorithm.
+    """
+    size, rank = comm.size, comm.rank
+    if size & (size - 1):
+        raise ValueError("recursive halving-doubling requires power-of-two ranks")
+    flat = np.asarray(array, dtype=np.float64).ravel().copy()
+    n = flat.size
+    if size == 1:
+        return flat.reshape(np.asarray(array).shape)
+
+    # Region boundaries come from identical arithmetic on all ranks, so the
+    # keep/send splits agree without any coordination messages.
+    def region(lo: int, hi: int, take_high: bool) -> tuple[int, int]:
+        mid = (lo + hi) // 2
+        return (mid, hi) if take_high else (lo, mid)
+
+    # reduce-scatter by recursive halving; record each level's split so the
+    # allgather can replay it in reverse
+    levels: list[tuple[int, tuple[int, int], tuple[int, int]]] = []
+    lo, hi = 0, n
+    mask = size >> 1
+    while mask:
+        partner = rank ^ mask
+        i_am_high = bool(rank & mask)
+        keep = region(lo, hi, i_am_high)
+        give = region(lo, hi, not i_am_high)
+        comm.send(partner, flat[give[0] : give[1]], tag=tag)
+        flat[keep[0] : keep[1]] += comm.recv(partner, tag=tag)
+        levels.append((partner, keep, give))
+        lo, hi = keep
+        mask >>= 1
+
+    # allgather by recursive doubling: at each reversed level I own `keep`
+    # fully reduced and my partner owns the sibling `give`; exchanging them
+    # reconstructs the parent region.
+    for partner, keep, give in reversed(levels):
+        comm.send(partner, flat[keep[0] : keep[1]], tag=tag + 1)
+        flat[give[0] : give[1]] = comm.recv(partner, tag=tag + 1)
+
+    return flat.reshape(np.asarray(array).shape)
+
+
+def allgather_ring(comm, array, tag: int = 0) -> list:
+    """Ring allgather: every rank ends with [contribution₀ … contribution₋₁].
+
+    Accepts arbitrary payloads (tuples of arrays, scalars, …) — only
+    ndarrays are defensively copied.
+    """
+    size, rank = comm.size, comm.rank
+    pieces: list = [None] * size
+    pieces[rank] = np.array(array, copy=True) if isinstance(array, np.ndarray) else array
+    if size == 1:
+        return pieces
+    right, left = (rank + 1) % size, (rank - 1) % size
+    for step in range(size - 1):
+        send_idx = (rank - step) % size
+        recv_idx = (rank - step - 1) % size
+        comm.send(right, pieces[send_idx], tag=tag)
+        pieces[recv_idx] = comm.recv(left, tag=tag)
+    return pieces
+
+
+def barrier_dissemination(comm, tag: int = 0) -> None:
+    """Dissemination barrier: ⌈log₂P⌉ rounds of shifted token exchange."""
+    size, rank = comm.size, comm.rank
+    if size == 1:
+        return
+    k = 1
+    while k < size:
+        comm.send((rank + k) % size, np.zeros(0), tag=tag)
+        comm.recv((rank - k) % size, tag=tag)
+        k <<= 1
+        tag += 1
+
+
+ALLREDUCE_ALGORITHMS = {
+    "tree": allreduce_tree,
+    "ring": allreduce_ring,
+    "rhd": allreduce_rhd,
+}
+
+
+# --------------------------------------------------------------------------
+# Analytic critical-path costs (used by repro.perfmodel and checked against
+# the simulated fabric in tests).
+# --------------------------------------------------------------------------
+
+def _log2ceil(p: int) -> int:
+    return max(1, math.ceil(math.log2(p))) if p > 1 else 0
+
+
+def bcast_cost(p: int, nbytes: int, profile: NetworkProfile) -> float:
+    """Binomial broadcast critical path: ⌈log₂P⌉ sequential messages."""
+    return _log2ceil(p) * profile.transfer_time(nbytes)
+
+
+def reduce_cost(p: int, nbytes: int, profile: NetworkProfile) -> float:
+    return _log2ceil(p) * profile.transfer_time(nbytes)
+
+
+def allreduce_cost(
+    p: int, nbytes: int, profile: NetworkProfile, algorithm: str = "tree"
+) -> float:
+    """Critical-path time of one allreduce of ``nbytes`` across ``p`` ranks."""
+    if p <= 1:
+        return 0.0
+    if algorithm == "tree":
+        return 2 * _log2ceil(p) * profile.transfer_time(nbytes)
+    if algorithm == "ring":
+        chunk = nbytes / p
+        return 2 * (p - 1) * profile.transfer_time(chunk)
+    if algorithm == "rhd":
+        lg = _log2ceil(p)
+        return 2 * lg * profile.alpha + 2 * nbytes * (1 - 1 / p) * profile.beta
+    raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+
+
+def allreduce_message_count(p: int, algorithm: str = "tree") -> int:
+    """Messages on one rank's critical path (the paper's latency term)."""
+    if p <= 1:
+        return 0
+    if algorithm == "tree":
+        return 2 * _log2ceil(p)
+    if algorithm == "ring":
+        return 2 * (p - 1)
+    if algorithm == "rhd":
+        return 2 * _log2ceil(p)
+    raise ValueError(f"unknown allreduce algorithm {algorithm!r}")

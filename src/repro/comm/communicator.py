@@ -1,0 +1,166 @@
+"""mpi4py-flavoured communicator over the simulated fabric.
+
+Each simulated rank owns one :class:`Communicator` and runs in its own
+thread (see :func:`run_cluster`).  The API follows mpi4py's lowercase
+object-passing conventions — ``send``/``recv``/``bcast``/``allreduce``/
+``gather``/``scatter``/``barrier`` — so code written against it reads like
+standard MPI programs.
+
+Collective calls are matched by *program order*: every rank must invoke the
+same collectives in the same sequence (the standard MPI contract).  An
+internal sequence counter namespaces the point-to-point tags of successive
+collectives so back-to-back operations can never cross-match.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import collectives as coll
+from .fabric import NetworkProfile, SimulatedFabric
+
+__all__ = ["Communicator", "run_cluster"]
+
+# tag namespaces: user p2p traffic lives below this base
+_COLLECTIVE_TAG_BASE = 1 << 20
+_TAGS_PER_COLLECTIVE = 8
+
+
+class Communicator:
+    """Rank-local handle to the simulated cluster."""
+
+    def __init__(self, fabric: SimulatedFabric, rank: int):
+        if not 0 <= rank < fabric.size:
+            raise ValueError(f"rank {rank} out of range")
+        self.fabric = fabric
+        self.rank = rank
+        self.size = fabric.size
+        self._seq = 0
+
+    # -- local time --------------------------------------------------------------
+    @property
+    def time(self) -> float:
+        """This rank's simulated clock (seconds)."""
+        return self.fabric.time_of(self.rank)
+
+    def compute(self, seconds: float) -> None:
+        """Model ``seconds`` of local computation (advances the clock)."""
+        self.fabric.clocks[self.rank].advance(seconds)
+
+    # -- point-to-point --------------------------------------------------------
+    def send(self, dst: int, payload, tag: int = 0) -> None:
+        self.fabric.send(self.rank, dst, payload, tag=tag)
+
+    def isend(self, dst: int, payload, tag: int = 0) -> None:
+        """Nonblocking send (sender charged only the injection latency α);
+        the transfer completes in the background — overlap primitive."""
+        self.fabric.isend(self.rank, dst, payload, tag=tag)
+
+    def recv(self, src: int, tag: int = 0):
+        return self.fabric.recv(self.rank, src, tag=tag)
+
+    # -- collectives ---------------------------------------------------------------
+    def _next_tag(self) -> int:
+        tag = _COLLECTIVE_TAG_BASE + self._seq * _TAGS_PER_COLLECTIVE
+        self._seq += 1
+        return tag
+
+    def bcast(self, value=None, root: int = 0):
+        """Broadcast ``value`` from ``root``; other ranks pass anything."""
+        return coll.bcast_tree(self, value, root=root, tag=self._next_tag())
+
+    def reduce(self, array: np.ndarray, root: int = 0) -> np.ndarray | None:
+        """Sum-reduce to ``root``; returns None elsewhere."""
+        return coll.reduce_tree(self, array, root=root, tag=self._next_tag())
+
+    def allreduce(self, array: np.ndarray, algorithm: str = "tree") -> np.ndarray:
+        """Global sum, identical (bitwise) on every rank."""
+        if algorithm not in coll.ALLREDUCE_ALGORITHMS:
+            raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
+        fn = coll.ALLREDUCE_ALGORITHMS[algorithm]
+        return fn(self, array, tag=self._next_tag())
+
+    def allreduce_hierarchical(
+        self, array: np.ndarray, node_size: int, inter_algorithm: str = "ring"
+    ) -> np.ndarray:
+        """Two-level allreduce (intra-node reduce → leader allreduce →
+        intra-node broadcast); see :mod:`repro.comm.hierarchical`."""
+        from .hierarchical import allreduce_hierarchical
+
+        return allreduce_hierarchical(
+            self, array, node_size, inter_algorithm, tag=self._next_tag()
+        )
+
+    def allgather(self, array: np.ndarray) -> list[np.ndarray]:
+        """Every rank receives [contribution of rank 0, …, rank P−1]."""
+        return coll.allgather_ring(self, array, tag=self._next_tag())
+
+    def gather(self, value, root: int = 0) -> list | None:
+        """Collect one value per rank at ``root`` (rank order preserved)."""
+        tag = self._next_tag()
+        if self.rank == root:
+            out = [None] * self.size
+            out[root] = value
+            for src in range(self.size):
+                if src != root:
+                    out[src] = self.recv(src, tag=tag)
+            return out
+        self.send(root, value, tag=tag)
+        return None
+
+    def scatter(self, values: Sequence | None = None, root: int = 0):
+        """Distribute ``values[i]`` to rank i from ``root``."""
+        tag = self._next_tag()
+        if self.rank == root:
+            if values is None or len(values) != self.size:
+                raise ValueError("root must supply one value per rank")
+            for dst in range(self.size):
+                if dst != root:
+                    self.send(dst, values[dst], tag=tag)
+            return values[root]
+        return self.recv(root, tag=tag)
+
+    def barrier(self) -> None:
+        """Dissemination barrier: returns once every rank has entered."""
+        coll.barrier_dissemination(self, tag=self._next_tag())
+
+
+def run_cluster(
+    size: int,
+    worker: Callable[[Communicator], object],
+    profile: NetworkProfile | None = None,
+    timeout: float = 300.0,
+) -> tuple[list, SimulatedFabric]:
+    """Run ``worker(comm)`` on ``size`` simulated ranks (one thread each).
+
+    Returns (per-rank results in rank order, the fabric — whose ``makespan``
+    and ``stats`` carry the simulated time and communication volume).  Any
+    rank raising propagates the first exception after all threads stop.
+    """
+    fabric = SimulatedFabric(size, profile)
+    results: list = [None] * size
+    errors: list = [None] * size
+
+    def target(rank: int) -> None:
+        try:
+            results[rank] = worker(Communicator(fabric, rank))
+        except BaseException as exc:  # noqa: BLE001 - propagated below
+            errors[rank] = exc
+
+    threads = [
+        threading.Thread(target=target, args=(r,), name=f"rank-{r}", daemon=True)
+        for r in range(size)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout)
+        if t.is_alive():
+            raise TimeoutError(f"simulated rank {t.name} did not finish")
+    for err in errors:
+        if err is not None:
+            raise err
+    return results, fabric

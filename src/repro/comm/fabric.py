@@ -1,0 +1,204 @@
+"""Simulated interconnect: message passing with α-β cost accounting.
+
+The fabric is the "wire" between simulated ranks.  Payloads move through
+thread-safe mailboxes (each rank runs in its own Python thread, so blocking
+``recv`` semantics are real), while *time* is purely logical:
+
+* a send at sender-time ``t`` occupies the sender for ``α + β·nbytes`` and
+  the message arrives at ``t + α + β·nbytes``;
+* a receive first blocks until the payload exists, then merges the arrival
+  time into the receiver's logical clock (plus the receiver's copy cost).
+
+α (latency) and β (inverse bandwidth) come from a :class:`NetworkProfile`;
+the profiles for the paper's interconnects (Table 11) live in
+:mod:`repro.perfmodel.hardware`.
+
+The fabric also keeps global message/byte counters — the quantities
+Figures 9 and 10 plot.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict, deque
+from dataclasses import dataclass
+
+import numpy as np
+
+from .clock import LogicalClock
+
+__all__ = ["NetworkProfile", "FabricStats", "SimulatedFabric", "Envelope"]
+
+
+@dataclass(frozen=True)
+class NetworkProfile:
+    """α-β model of one interconnect.
+
+    Parameters
+    ----------
+    alpha:
+        Per-message latency in seconds.
+    beta:
+        Per-byte transfer time in seconds (1 / bandwidth).
+    name:
+        Display label, e.g. ``"Mellanox 56Gb/s FDR IB"``.
+    """
+
+    alpha: float
+    beta: float
+    name: str = "generic"
+
+    def __post_init__(self):
+        if self.alpha < 0 or self.beta < 0:
+            raise ValueError("alpha and beta must be non-negative")
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Time for one point-to-point message of ``nbytes``."""
+        return self.alpha + self.beta * nbytes
+
+    @staticmethod
+    def ideal() -> "NetworkProfile":
+        """Zero-cost network (for pure-correctness tests)."""
+        return NetworkProfile(0.0, 0.0, "ideal")
+
+
+@dataclass
+class Envelope:
+    """A message in flight: payload plus its simulated arrival time."""
+
+    payload: object
+    nbytes: int
+    arrival_time: float
+    src: int
+    tag: int
+
+
+@dataclass
+class FabricStats:
+    """Global communication counters (Figures 9/10)."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def record(self, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+
+
+def payload_nbytes(payload) -> int:
+    """Wire size of a payload: ndarray buffers are exact, scalars 8 bytes,
+    everything else a small fixed envelope (control messages)."""
+    if isinstance(payload, np.ndarray):
+        return payload.nbytes
+    if isinstance(payload, (int, float, np.floating, np.integer)):
+        return 8
+    if isinstance(payload, (tuple, list)):
+        return sum(payload_nbytes(p) for p in payload) or 8
+    return 64
+
+
+class SimulatedFabric:
+    """All-to-all interconnect among ``size`` ranks.
+
+    One mailbox per destination rank, keyed by (source, tag).  ``send`` is
+    asynchronous-with-timing (the sender's clock advances by the transfer
+    time, matching blocking MPI sends of rendezvous-sized gradient
+    messages); ``recv`` blocks the calling thread until the payload exists.
+    """
+
+    def __init__(self, size: int, profile: NetworkProfile | None = None):
+        if size <= 0:
+            raise ValueError("size must be positive")
+        self.size = size
+        self.profile = profile if profile is not None else NetworkProfile.ideal()
+        self.clocks = [LogicalClock() for _ in range(size)]
+        self.stats = FabricStats()
+        self._mailboxes: list[dict[tuple[int, int], deque[Envelope]]] = [
+            defaultdict(deque) for _ in range(size)
+        ]
+        self._conditions = [threading.Condition() for _ in range(size)]
+        self._stats_lock = threading.Lock()
+
+    def _check_rank(self, rank: int) -> None:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} out of range for size {self.size}")
+
+    # -- point-to-point ---------------------------------------------------------
+    def isend(self, src: int, dst: int, payload, tag: int = 0) -> None:
+        """Nonblocking send: the sender is only charged the injection
+        latency α; the payload still arrives a full α + β·n after the
+        current send time (the NIC drains the transfer in the background).
+
+        This is the primitive behind communication/computation overlap
+        (Das et al. 2016; Goyal et al. 2017): compute advanced after an
+        ``isend`` happens *concurrently* with the transfer.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise ValueError("self-sends are not allowed; use local state")
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        nbytes = payload_nbytes(payload)
+        t_start = self.clocks[src].advance(self.profile.alpha)
+        arrival = t_start + self.profile.beta * nbytes
+        with self._stats_lock:
+            self.stats.record(nbytes)
+        env = Envelope(payload, nbytes, arrival_time=arrival, src=src, tag=tag)
+        cond = self._conditions[dst]
+        with cond:
+            self._mailboxes[dst][(src, tag)].append(env)
+            cond.notify_all()
+
+    def send(self, src: int, dst: int, payload, tag: int = 0) -> None:
+        """Deliver ``payload`` from ``src`` to ``dst``; advances src's clock.
+
+        ndarray payloads are copied so later in-place mutation by the sender
+        cannot race the receiver (value semantics, like a real wire).
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise ValueError("self-sends are not allowed; use local state")
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        nbytes = payload_nbytes(payload)
+        cost = self.profile.transfer_time(nbytes)
+        t_send = self.clocks[src].advance(cost)
+        with self._stats_lock:
+            self.stats.record(nbytes)
+        env = Envelope(payload, nbytes, arrival_time=t_send, src=src, tag=tag)
+        cond = self._conditions[dst]
+        with cond:
+            self._mailboxes[dst][(src, tag)].append(env)
+            cond.notify_all()
+
+    def recv(self, dst: int, src: int, tag: int = 0, timeout: float = 60.0):
+        """Blocking receive; merges the arrival time into dst's clock."""
+        self._check_rank(src)
+        self._check_rank(dst)
+        cond = self._conditions[dst]
+        key = (src, tag)
+        with cond:
+            ok = cond.wait_for(lambda: len(self._mailboxes[dst][key]) > 0, timeout)
+            if not ok:
+                raise TimeoutError(
+                    f"rank {dst} timed out waiting for (src={src}, tag={tag})"
+                )
+            env = self._mailboxes[dst][key].popleft()
+        self.clocks[dst].merge(env.arrival_time)
+        return env.payload
+
+    # -- inspection ----------------------------------------------------------------
+    def time_of(self, rank: int) -> float:
+        return self.clocks[rank].time
+
+    @property
+    def makespan(self) -> float:
+        """Simulated wall-clock: the slowest rank's time."""
+        return max(c.time for c in self.clocks)
+
+    def reset_time(self) -> None:
+        for c in self.clocks:
+            c.reset()
+        self.stats = FabricStats()

@@ -1,0 +1,73 @@
+"""Adam (Kingma & Ba 2015) — the adaptive-moment baseline.
+
+Not used by the paper itself, but the natural contrast for the LARS/LAMB
+ablations: Adam adapts *per coordinate* while LARS adapts *per layer*, and
+at very large batch Adam needs LAMB's layer-wise correction (see
+``repro.core.lamb``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.tensor import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["Adam"]
+
+
+class Adam(Optimizer):
+    """Adam with decoupled per-parameter weight-decay multipliers.
+
+    ``decoupled=True`` applies AdamW-style decay (decay added to the update,
+    not the moments); ``False`` reproduces the original L2-in-gradient form.
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+        decoupled: bool = True,
+    ):
+        super().__init__(params)
+        if not 0.0 <= beta1 < 1.0 or not 0.0 <= beta2 < 1.0:
+            raise ValueError("betas must be in [0, 1)")
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.beta1 = float(beta1)
+        self.beta2 = float(beta2)
+        self.eps = float(eps)
+        self.weight_decay = float(weight_decay)
+        self.decoupled = bool(decoupled)
+
+    def _adam_direction(self, p: Parameter, state: dict) -> np.ndarray:
+        """Bias-corrected m̂/(√v̂+ε), the shared core of Adam and LAMB."""
+        wd = self.weight_decay * p.weight_decay
+        g = p.grad if (self.decoupled or not wd) else p.grad + wd * p.data
+        m = state.get("m")
+        v = state.get("v")
+        if m is None:
+            m = state["m"] = np.zeros_like(p.data)
+            v = state["v"] = np.zeros_like(p.data)
+        m *= self.beta1
+        m += (1 - self.beta1) * g
+        v *= self.beta2
+        v += (1 - self.beta2) * g * g
+        t = state.get("t", 0) + 1
+        state["t"] = t
+        mhat = m / (1 - self.beta1**t)
+        vhat = v / (1 - self.beta2**t)
+        direction = mhat / (np.sqrt(vhat) + self.eps)
+        if self.decoupled and wd:
+            direction = direction + wd * p.data
+        return direction
+
+    def apply_update(self, p: Parameter, state: dict, lr: float) -> None:
+        p.data -= lr * self._adam_direction(p, state)

@@ -1,0 +1,74 @@
+"""Batch-size schedules — "increase the batch size instead of decaying the
+learning rate" (Smith et al. 2018), the natural follow-on to this paper's
+large-batch programme.
+
+The equivalence argument mirrors the linear-scaling rule in reverse: SGD's
+update noise scales like η/B, so decaying η by k and growing B by k move the
+optimisation along the same noise-decay path while *gaining* the large-batch
+communication benefits of Table 2 as training progresses.
+
+:class:`BatchSizeSchedule` maps epoch → global batch; the trainer extension
+``fit_with_batch_schedule`` consumes it.  The iteration-indexed LR schedule
+is unchanged — combining a constant LR with a doubling batch reproduces the
+effect of a step-decayed LR at fixed batch (verified in the tests).
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = ["BatchSizeSchedule", "ConstantBatch", "SteppedBatchGrowth"]
+
+
+class BatchSizeSchedule:
+    """Epoch → global batch size."""
+
+    def batch_at(self, epoch: int) -> int:
+        raise NotImplementedError
+
+    def __call__(self, epoch: int) -> int:
+        b = int(self.batch_at(int(epoch)))
+        if b <= 0:
+            raise ValueError(f"schedule produced invalid batch {b} at epoch {epoch}")
+        return b
+
+
+class ConstantBatch(BatchSizeSchedule):
+    def __init__(self, batch: int):
+        if batch <= 0:
+            raise ValueError("batch must be positive")
+        self.batch = int(batch)
+
+    def batch_at(self, epoch: int) -> int:
+        return self.batch
+
+
+class SteppedBatchGrowth(BatchSizeSchedule):
+    """Multiply the batch by ``factor`` at each milestone epoch, capped.
+
+    ``SteppedBatchGrowth(64, milestones=[30, 60, 80], factor=10)`` is the
+    Smith et al. ImageNet recipe shape: 64 → 640 → 6400 → (cap).
+    """
+
+    def __init__(
+        self,
+        base_batch: int,
+        milestones: list[int],
+        factor: float = 2.0,
+        max_batch: int | None = None,
+    ):
+        if base_batch <= 0:
+            raise ValueError("base_batch must be positive")
+        if factor <= 1.0:
+            raise ValueError("factor must exceed 1")
+        self.base_batch = int(base_batch)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.factor = float(factor)
+        self.max_batch = int(max_batch) if max_batch is not None else None
+
+    def batch_at(self, epoch: int) -> int:
+        growths = sum(1 for m in self.milestones if epoch >= m)
+        b = self.base_batch * self.factor**growths
+        if self.max_batch is not None:
+            b = min(b, self.max_batch)
+        return max(1, math.floor(b))

@@ -1,0 +1,70 @@
+"""Accuracy metrics and streaming averages."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["top_k_accuracy", "top1_accuracy", "RunningMean", "EpochRecord"]
+
+
+def top_k_accuracy(logits: np.ndarray, targets: np.ndarray, k: int = 1) -> float:
+    """Fraction of rows whose target is among the k largest logits."""
+    targets = np.asarray(targets)
+    if logits.ndim != 2 or targets.shape != (logits.shape[0],):
+        raise ValueError("logits must be (N, C) and targets (N,)")
+    if not 1 <= k <= logits.shape[1]:
+        raise ValueError(f"k={k} out of range for {logits.shape[1]} classes")
+    if k == 1:
+        pred = logits.argmax(axis=1)
+        return float(np.mean(pred == targets))
+    topk = np.argpartition(logits, -k, axis=1)[:, -k:]
+    return float(np.mean(np.any(topk == targets[:, None], axis=1)))
+
+
+def top1_accuracy(logits: np.ndarray, targets: np.ndarray) -> float:
+    """Top-1 test accuracy — the paper's only reported metric."""
+    return top_k_accuracy(logits, targets, k=1)
+
+
+class RunningMean:
+    """Numerically simple streaming mean with per-item weights."""
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.weight = 0.0
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        self.total += float(value) * float(weight)
+        self.weight += float(weight)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.weight if self.weight else 0.0
+
+    def reset(self) -> None:
+        self.total = 0.0
+        self.weight = 0.0
+
+
+@dataclass
+class EpochRecord:
+    """One row of training history."""
+
+    epoch: int
+    train_loss: float
+    train_accuracy: float
+    test_accuracy: float
+    learning_rate: float
+    iterations: int
+
+    def as_dict(self) -> dict:
+        return {
+            "epoch": self.epoch,
+            "train_loss": self.train_loss,
+            "train_accuracy": self.train_accuracy,
+            "test_accuracy": self.test_accuracy,
+            "learning_rate": self.learning_rate,
+            "iterations": self.iterations,
+        }

@@ -1,0 +1,77 @@
+"""Optimiser base class.
+
+Optimisers mutate :class:`repro.nn.Parameter` data in place from the
+accumulated gradients.  The learning rate is supplied per step by a
+:class:`repro.core.schedules.Schedule` (or a constant), so the warmup /
+poly-decay logic composes with any optimiser.
+
+The update is deliberately factored as
+
+    step(lr) -> for each parameter: apply_update(param, state, lr)
+
+so the synchronous data-parallel trainer can run the *identical* update code
+after an allreduce — sequential consistency then holds by construction and is
+verified by the tests rather than assumed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.tensor import Parameter
+
+__all__ = ["Optimizer"]
+
+
+class Optimizer:
+    """Base class: per-parameter state plus an in-place update rule."""
+
+    def __init__(self, params: Sequence[Parameter]):
+        self.params: list[Parameter] = list(params)
+        if not self.params:
+            raise ValueError("optimizer needs at least one parameter")
+        # state is keyed by position, not name, so unnamed params work too
+        self.state: list[dict[str, np.ndarray]] = [dict() for _ in self.params]
+        self.step_count = 0
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self, lr: float) -> None:
+        """Apply one update with global learning rate ``lr``."""
+        if not np.isfinite(lr) or lr < 0:
+            raise ValueError(f"invalid learning rate {lr}")
+        for p, st in zip(self.params, self.state):
+            self.apply_update(p, st, lr)
+        self.step_count += 1
+
+    def apply_update(self, p: Parameter, state: dict, lr: float) -> None:
+        raise NotImplementedError
+
+    # -- replication support (simulated cluster) ------------------------------
+    def state_dict(self) -> dict:
+        """Snapshot of optimiser state for checkpoint/replication."""
+        def copy_value(v):
+            return v.copy() if isinstance(v, np.ndarray) else v
+
+        return {
+            "step_count": self.step_count,
+            "state": [
+                {k: copy_value(v) for k, v in st.items()} for st in self.state
+            ],
+        }
+
+    def load_state_dict(self, snapshot: dict) -> None:
+        self.step_count = int(snapshot["step_count"])
+        if len(snapshot["state"]) != len(self.state):
+            raise ValueError("state length mismatch")
+        self.state = [
+            {
+                k: (np.asarray(v).copy() if isinstance(v, np.ndarray) else v)
+                for k, v in st.items()
+            }
+            for st in snapshot["state"]
+        ]

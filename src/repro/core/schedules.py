@@ -1,0 +1,151 @@
+"""Learning-rate schedules: the linear scaling rule, gradual warmup, and
+Caffe's polynomial decay — the exact combination the paper trains with.
+
+A :class:`Schedule` maps an iteration index (0-based) to a learning rate.
+The paper's recipe for every experiment is::
+
+    warmup(w_epochs) -> poly(power=2) over the remaining iterations
+
+with the peak learning rate set by the linear scaling rule
+(Krizhevsky 2014 / Goyal et al. 2017): scale the batch from B to kB, scale
+the LR from η to kη.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "Schedule",
+    "ConstantLR",
+    "PolynomialDecay",
+    "StepDecay",
+    "GradualWarmup",
+    "linear_scaled_lr",
+    "sqrt_scaled_lr",
+    "paper_schedule",
+]
+
+
+class Schedule:
+    """Iteration → learning-rate map."""
+
+    def lr_at(self, iteration: int) -> float:
+        raise NotImplementedError
+
+    def __call__(self, iteration: int) -> float:
+        lr = self.lr_at(int(iteration))
+        if lr < 0 or not math.isfinite(lr):
+            raise ValueError(f"schedule produced invalid lr {lr} at t={iteration}")
+        return lr
+
+
+class ConstantLR(Schedule):
+    """Fixed learning rate (the paper's "regular" rule for small batches)."""
+
+    def __init__(self, lr: float):
+        if lr < 0:
+            raise ValueError("lr must be non-negative")
+        self.lr = float(lr)
+
+    def lr_at(self, iteration: int) -> float:
+        return self.lr
+
+
+class PolynomialDecay(Schedule):
+    """Caffe ``poly`` policy: lr(t) = base · (1 − t/T)^power.
+
+    The paper uses power = 2 everywhere ("we use poly learning rate policy,
+    and the poly power is 2").  At t ≥ T the LR is clamped to 0.
+    """
+
+    def __init__(self, base_lr: float, total_steps: int, power: float = 2.0):
+        if base_lr < 0:
+            raise ValueError("base_lr must be non-negative")
+        if total_steps <= 0:
+            raise ValueError("total_steps must be positive")
+        self.base_lr = float(base_lr)
+        self.total_steps = int(total_steps)
+        self.power = float(power)
+
+    def lr_at(self, iteration: int) -> float:
+        frac = min(iteration, self.total_steps) / self.total_steps
+        return self.base_lr * (1.0 - frac) ** self.power
+
+
+class StepDecay(Schedule):
+    """Classic step policy (÷10 at milestones) — the He et al. baseline rule,
+    provided for the augmentation-baseline comparisons."""
+
+    def __init__(self, base_lr: float, milestones: list[int], gamma: float = 0.1):
+        self.base_lr = float(base_lr)
+        self.milestones = sorted(int(m) for m in milestones)
+        self.gamma = float(gamma)
+
+    def lr_at(self, iteration: int) -> float:
+        drops = sum(1 for m in self.milestones if iteration >= m)
+        return self.base_lr * self.gamma**drops
+
+
+class GradualWarmup(Schedule):
+    """Goyal et al.'s gradual warmup wrapped around any base schedule.
+
+    For the first ``warmup_steps`` iterations the LR ramps linearly from
+    ``start_lr`` to the base schedule's value at the handoff point; from then
+    on the base schedule (queried at ``t − warmup_steps`` by default, so its
+    decay horizon covers the post-warmup phase) takes over.  The ramp is
+    continuous at the handoff by construction.
+    """
+
+    def __init__(
+        self,
+        base: Schedule,
+        warmup_steps: int,
+        start_lr: float = 0.0,
+        rebase: bool = True,
+    ):
+        if warmup_steps < 0:
+            raise ValueError("warmup_steps must be non-negative")
+        self.base = base
+        self.warmup_steps = int(warmup_steps)
+        self.start_lr = float(start_lr)
+        self.rebase = bool(rebase)
+
+    def _base_at(self, iteration: int) -> float:
+        t = iteration - self.warmup_steps if self.rebase else iteration
+        return self.base.lr_at(max(t, 0))
+
+    def lr_at(self, iteration: int) -> float:
+        if self.warmup_steps == 0 or iteration >= self.warmup_steps:
+            return self._base_at(iteration)
+        target = self._base_at(self.warmup_steps)
+        frac = (iteration + 1) / self.warmup_steps
+        return self.start_lr + frac * (target - self.start_lr)
+
+
+def linear_scaled_lr(base_lr: float, base_batch: int, batch: int) -> float:
+    """Linear scaling rule: B → kB implies η → kη (Krizhevsky 2014)."""
+    if base_batch <= 0 or batch <= 0:
+        raise ValueError("batch sizes must be positive")
+    return base_lr * (batch / base_batch)
+
+
+def sqrt_scaled_lr(base_lr: float, base_batch: int, batch: int) -> float:
+    """Square-root scaling (Krizhevsky's alternative; extension knob)."""
+    if base_batch <= 0 or batch <= 0:
+        raise ValueError("batch sizes must be positive")
+    return base_lr * math.sqrt(batch / base_batch)
+
+
+def paper_schedule(
+    peak_lr: float,
+    total_iterations: int,
+    warmup_iterations: int = 0,
+    power: float = 2.0,
+) -> Schedule:
+    """The paper's composite schedule: gradual warmup into poly(power) decay."""
+    decay_steps = max(total_iterations - warmup_iterations, 1)
+    poly = PolynomialDecay(peak_lr, decay_steps, power=power)
+    if warmup_iterations == 0:
+        return poly
+    return GradualWarmup(poly, warmup_iterations)

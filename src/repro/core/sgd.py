@@ -1,0 +1,69 @@
+"""Momentum SGD with weight decay — the paper's baseline optimiser.
+
+The update follows Caffe's convention (the paper's software stack), where the
+learning rate multiplies the gradient *inside* the momentum buffer:
+
+    v ← m·v + lr·(∇w + λ·w)
+    w ← w − v
+
+with momentum m = 0.9 and weight decay λ = 0.0005 throughout the paper's
+experiments.  Per-parameter ``weight_decay`` multipliers (0 for biases and
+BatchNorm scale/shift) are honoured.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..nn.tensor import Parameter
+from .optimizer import Optimizer
+
+__all__ = ["SGD"]
+
+
+class SGD(Optimizer):
+    """Caffe-style momentum SGD.
+
+    Parameters
+    ----------
+    momentum:
+        Heavy-ball coefficient; 0 disables the buffer entirely.
+    weight_decay:
+        L2 coefficient λ, scaled per parameter by ``Parameter.weight_decay``.
+    nesterov:
+        Nesterov-style lookahead (extension; the paper uses plain momentum).
+    """
+
+    def __init__(
+        self,
+        params: Sequence[Parameter],
+        momentum: float = 0.9,
+        weight_decay: float = 0.0005,
+        nesterov: bool = False,
+    ):
+        super().__init__(params)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError(f"momentum must be in [0, 1), got {momentum}")
+        if weight_decay < 0:
+            raise ValueError("weight_decay must be non-negative")
+        self.momentum = float(momentum)
+        self.weight_decay = float(weight_decay)
+        self.nesterov = bool(nesterov)
+
+    def apply_update(self, p: Parameter, state: dict, lr: float) -> None:
+        wd = self.weight_decay * p.weight_decay
+        g = p.grad + wd * p.data if wd else p.grad
+        if self.momentum:
+            v = state.get("momentum")
+            if v is None:
+                v = state["momentum"] = np.zeros_like(p.data)
+            v *= self.momentum
+            v += lr * g
+            if self.nesterov:
+                p.data -= self.momentum * v + lr * g
+            else:
+                p.data -= v
+        else:
+            p.data -= lr * g

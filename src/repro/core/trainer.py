@@ -1,0 +1,244 @@
+"""Single-process training loop.
+
+This is the serial reference implementation: the simulated cluster in
+:mod:`repro.cluster` must match it step-for-step (sequential consistency).
+It also powers the laptop-scale convergence experiments (Tables 5/7/10,
+Figures 1/4/5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..nn.layers.base import Module
+from ..nn.losses import SoftmaxCrossEntropy
+from .metrics import EpochRecord, RunningMean, top1_accuracy
+from .optimizer import Optimizer
+from .schedules import ConstantLR, Schedule
+
+__all__ = ["Trainer", "TrainResult", "iterations_per_epoch"]
+
+
+def iterations_per_epoch(n_examples: int, batch_size: int) -> int:
+    """ceil(n/B): every example is touched once per epoch (paper's definition
+    of an epoch; the final short batch is kept, not dropped)."""
+    if n_examples <= 0 or batch_size <= 0:
+        raise ValueError("n_examples and batch_size must be positive")
+    return -(-n_examples // batch_size)
+
+
+@dataclass
+class TrainResult:
+    """Full training history plus summary statistics."""
+
+    history: list[EpochRecord] = field(default_factory=list)
+
+    @property
+    def final_test_accuracy(self) -> float:
+        return self.history[-1].test_accuracy if self.history else 0.0
+
+    @property
+    def peak_test_accuracy(self) -> float:
+        """The paper reports *peak* top-1 accuracy (Tables 8/9)."""
+        return max((r.test_accuracy for r in self.history), default=0.0)
+
+    @property
+    def total_iterations(self) -> int:
+        return sum(r.iterations for r in self.history)
+
+    def accuracy_curve(self) -> list[tuple[int, float]]:
+        return [(r.epoch, r.test_accuracy) for r in self.history]
+
+    def epochs_to_accuracy(self, target: float) -> int | None:
+        """First epoch whose test accuracy reaches ``target`` (Figure 7)."""
+        for r in self.history:
+            if r.test_accuracy >= target:
+                return r.epoch
+        return None
+
+
+class Trainer:
+    """Serial mini-batch trainer.
+
+    Parameters
+    ----------
+    model, optimizer:
+        The network and its update rule.
+    schedule:
+        Iteration-indexed LR schedule; a plain float is wrapped in
+        :class:`ConstantLR`.
+    loss:
+        Defaults to mean softmax cross-entropy.
+    shuffle_seed:
+        Epoch shuffling is derived deterministically from this seed so that
+        serial and simulated-cluster runs see identical batch streams.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        optimizer: Optimizer,
+        schedule: Schedule | float,
+        loss: SoftmaxCrossEntropy | None = None,
+        shuffle_seed: int = 0,
+    ):
+        self.model = model
+        self.optimizer = optimizer
+        self.schedule = ConstantLR(schedule) if isinstance(schedule, (int, float)) else schedule
+        self.loss = loss if loss is not None else SoftmaxCrossEntropy()
+        self.shuffle_seed = int(shuffle_seed)
+        self.iteration = 0
+
+    # -- single step -----------------------------------------------------------
+    def train_step(
+        self, x: np.ndarray, y: np.ndarray, micro_batch_size: int | None = None
+    ) -> tuple[float, float]:
+        """One forward/backward/update on batch (x, y).
+
+        ``micro_batch_size`` enables gradient accumulation: the batch is
+        processed in chunks whose loss gradients are weighted by
+        |chunk|/|batch| and summed before one optimiser step — how a memory-
+        limited device runs a batch larger than Figure 3's OOM point.  For
+        models without BatchNorm this is *exactly* the full-batch step (the
+        same argument as the cluster's sequential consistency); BatchNorm
+        statistics become per-micro-batch, the "ghost batch norm" effect.
+
+        Returns (mean loss, top-1 train accuracy on the batch).
+        """
+        self.model.train()
+        self.optimizer.zero_grad()
+        n = len(x)
+        chunk = n if micro_batch_size is None else int(micro_batch_size)
+        if chunk <= 0:
+            raise ValueError("micro_batch_size must be positive")
+        loss_sum = 0.0
+        correct = 0.0
+        for lo in range(0, n, chunk):
+            xb, yb = x[lo : lo + chunk], y[lo : lo + chunk]
+            logits = self.model.forward(xb)
+            loss_val = self.loss.forward(logits, yb)
+            weight = len(xb) / n
+            self.model.backward(self.loss.backward() * weight)
+            loss_sum += loss_val * len(xb)
+            correct += top1_accuracy(logits, yb) * len(xb)
+        lr = self.schedule(self.iteration)
+        self.optimizer.step(lr)
+        self.iteration += 1
+        return loss_sum / n, correct / n
+
+    # -- evaluation --------------------------------------------------------------
+    def evaluate(
+        self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
+    ) -> float:
+        """Top-1 accuracy over a held-out set, batched to bound memory."""
+        self.model.eval()
+        correct = RunningMean()
+        for lo in range(0, len(x), batch_size):
+            xb, yb = x[lo : lo + batch_size], y[lo : lo + batch_size]
+            logits = self.model.forward(xb)
+            correct.update(top1_accuracy(logits, yb), weight=len(xb))
+        self.model.train()
+        return correct.mean
+
+    # -- epoch ordering ----------------------------------------------------------
+    def epoch_permutation(self, n: int, epoch: int) -> np.ndarray:
+        """Deterministic shuffle for ``epoch`` (shared with cluster runs)."""
+        rng = np.random.default_rng((self.shuffle_seed, epoch))
+        return rng.permutation(n)
+
+    def fit_with_batch_schedule(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        epochs: int,
+        batch_schedule,
+        callback: Callable[[EpochRecord], None] | None = None,
+    ) -> TrainResult:
+        """Train with an epoch-indexed batch-size schedule (Smith et al.'s
+        "increase the batch size instead of decaying the learning rate" —
+        the follow-on to the paper's large-batch programme).
+
+        ``batch_schedule`` maps epoch → global batch
+        (:class:`repro.core.batch_schedule.BatchSizeSchedule` or any
+        callable).  Each epoch simply runs :meth:`fit`'s inner loop at that
+        epoch's batch size.
+        """
+        n = len(x_train)
+        result = TrainResult()
+        for epoch in range(epochs):
+            batch_size = min(int(batch_schedule(epoch)), n)
+            order = self.epoch_permutation(n, epoch)
+            loss_avg, acc_avg = RunningMean(), RunningMean()
+            iters = 0
+            lr_last = 0.0
+            for lo in range(0, n, batch_size):
+                idx = order[lo : lo + batch_size]
+                lr_last = self.schedule(self.iteration)
+                loss_val, acc = self.train_step(x_train[idx], y_train[idx])
+                loss_avg.update(loss_val, weight=len(idx))
+                acc_avg.update(acc, weight=len(idx))
+                iters += 1
+            record = EpochRecord(
+                epoch=epoch + 1,
+                train_loss=loss_avg.mean,
+                train_accuracy=acc_avg.mean,
+                test_accuracy=self.evaluate(x_test, y_test),
+                learning_rate=lr_last,
+                iterations=iters,
+            )
+            result.history.append(record)
+            if callback is not None:
+                callback(record)
+        return result
+
+    # -- full loop -----------------------------------------------------------------
+    def fit(
+        self,
+        x_train: np.ndarray,
+        y_train: np.ndarray,
+        x_test: np.ndarray,
+        y_test: np.ndarray,
+        epochs: int,
+        batch_size: int,
+        callback: Callable[[EpochRecord], None] | None = None,
+        micro_batch_size: int | None = None,
+    ) -> TrainResult:
+        """Train for ``epochs`` full passes with global batch ``batch_size``.
+
+        ``micro_batch_size`` forwards to :meth:`train_step`'s gradient
+        accumulation — how a memory-limited device runs large batches.
+        """
+        n = len(x_train)
+        result = TrainResult()
+        for epoch in range(epochs):
+            order = self.epoch_permutation(n, epoch)
+            loss_avg, acc_avg = RunningMean(), RunningMean()
+            iters = 0
+            lr_last = 0.0
+            for lo in range(0, n, batch_size):
+                idx = order[lo : lo + batch_size]
+                lr_last = self.schedule(self.iteration)
+                loss_val, acc = self.train_step(
+                    x_train[idx], y_train[idx],
+                    micro_batch_size=micro_batch_size,
+                )
+                loss_avg.update(loss_val, weight=len(idx))
+                acc_avg.update(acc, weight=len(idx))
+                iters += 1
+            record = EpochRecord(
+                epoch=epoch + 1,
+                train_loss=loss_avg.mean,
+                train_accuracy=acc_avg.mean,
+                test_accuracy=self.evaluate(x_test, y_test),
+                learning_rate=lr_last,
+                iterations=iters,
+            )
+            result.history.append(record)
+            if callback is not None:
+                callback(record)
+        return result

@@ -1,0 +1,24 @@
+"""``repro.data`` — synthetic ImageNet proxies, augmentation, loaders."""
+
+from .augment import AUGMENTATIONS, intensity_jitter, pipeline, random_crop, random_flip
+from .datasets import IMAGENET, PROXY_CONFIGS, TARGET_ACCURACY, ImageNetSpec, proxy_dataset
+from .loader import BatchLoader
+from .synthetic import Dataset, SyntheticConfig, gaussian_blobs, make_dataset
+
+__all__ = [
+    "Dataset",
+    "SyntheticConfig",
+    "make_dataset",
+    "gaussian_blobs",
+    "IMAGENET",
+    "ImageNetSpec",
+    "PROXY_CONFIGS",
+    "TARGET_ACCURACY",
+    "proxy_dataset",
+    "BatchLoader",
+    "AUGMENTATIONS",
+    "random_flip",
+    "random_crop",
+    "intensity_jitter",
+    "pipeline",
+]

@@ -1,0 +1,60 @@
+"""ImageNet-1k bookkeeping and the standard proxy configurations.
+
+Every analytic experiment (Tables 1/2/8/9, Figures 6/8/9/10) uses the real
+ImageNet constants; the convergence experiments use proxy datasets whose
+*iterations-per-epoch regime* matches the paper's via
+:func:`repro.core.recipes.scale_to`.
+"""
+
+from __future__ import annotations
+
+from .synthetic import Dataset, SyntheticConfig, make_dataset
+
+__all__ = [
+    "IMAGENET",
+    "ImageNetSpec",
+    "PROXY_CONFIGS",
+    "proxy_dataset",
+    "TARGET_ACCURACY",
+]
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ImageNetSpec:
+    """The numbers the paper's formulas plug in."""
+
+    train_images: int = 1_281_167
+    val_images: int = 50_000
+    classes: int = 1000
+    resnet_resolution: int = 224
+    alexnet_resolution: int = 227
+
+
+IMAGENET = ImageNetSpec()
+
+#: Table 3 — "Standard Benchmarks for ImageNet training"
+TARGET_ACCURACY = {
+    "alexnet": 0.58,  # 100 epochs (Iandola et al. 2016)
+    "resnet50": 0.753,  # 90 epochs (He et al. 2016)
+}
+
+#: Named proxy configurations.  ``tiny`` is for tests (seconds),
+#: ``small`` for the benchmark harness (a few minutes per sweep point),
+#: ``medium`` for the examples' fuller runs.
+PROXY_CONFIGS: dict[str, SyntheticConfig] = {
+    "tiny": SyntheticConfig(num_classes=4, image_size=8, channels=3,
+                            train_size=512, test_size=128, noise=0.5, seed=42),
+    "small": SyntheticConfig(num_classes=8, image_size=12, channels=3,
+                             train_size=2048, test_size=512, noise=0.6, seed=42),
+    "medium": SyntheticConfig(num_classes=16, image_size=16, channels=3,
+                              train_size=8192, test_size=1024, noise=0.7, seed=42),
+}
+
+
+def proxy_dataset(name: str = "small") -> Dataset:
+    """Generate one of the named proxy datasets."""
+    if name not in PROXY_CONFIGS:
+        raise KeyError(f"unknown proxy {name!r}; available: {sorted(PROXY_CONFIGS)}")
+    return make_dataset(PROXY_CONFIGS[name])

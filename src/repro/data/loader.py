@@ -1,0 +1,99 @@
+"""Shard-aware batch iteration with optional augmentation.
+
+The serial :class:`repro.core.Trainer` and the simulated cluster both slice
+batches themselves (they need exact control for the consistency tests); this
+loader is the user-facing convenience for examples and custom loops, and the
+single place augmentation hooks in.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator
+
+import numpy as np
+
+from ..cluster.sharding import epoch_permutation, shard_batch
+from .augment import AUGMENTATIONS
+
+__all__ = ["BatchLoader"]
+
+
+class BatchLoader:
+    """Deterministic epoch iterator over (x, y) batches.
+
+    Parameters
+    ----------
+    x, y:
+        Full dataset arrays (never copied; batches are fancy-indexed views).
+    batch_size:
+        Global batch size.
+    augment:
+        ``None``/"none", an :data:`AUGMENTATIONS` key, or a callable
+        ``(batch, rng) -> batch``.
+    world, rank:
+        When set, each batch is this rank's shard of the global batch —
+        the same slices the simulated cluster uses.
+    seed:
+        Drives both the epoch shuffle and the augmentation randomness.
+    """
+
+    def __init__(
+        self,
+        x: np.ndarray,
+        y: np.ndarray,
+        batch_size: int,
+        augment: str | Callable | None = None,
+        world: int = 1,
+        rank: int = 0,
+        seed: int = 0,
+        shuffle: bool = True,
+    ):
+        if len(x) != len(y):
+            raise ValueError("x and y length mismatch")
+        if batch_size <= 0:
+            raise ValueError("batch_size must be positive")
+        if not 0 <= rank < world:
+            raise ValueError("rank out of range")
+        self.x, self.y = x, y
+        self.batch_size = batch_size
+        self.world, self.rank = world, rank
+        self.seed = seed
+        self.shuffle = shuffle
+        self.epoch = 0
+        if augment is None:
+            augment = "none"
+        if isinstance(augment, str):
+            if augment not in AUGMENTATIONS:
+                raise KeyError(
+                    f"unknown augmentation {augment!r}; available: {sorted(AUGMENTATIONS)}"
+                )
+            augment = AUGMENTATIONS[augment]
+        self._augment = augment
+
+    @property
+    def batches_per_epoch(self) -> int:
+        return -(-len(self.x) // self.batch_size)
+
+    def __len__(self) -> int:
+        return self.batches_per_epoch
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield this rank's shard of every global batch of one epoch.
+
+        Each call iterates the *next* epoch (fresh shuffle, fresh
+        augmentation draws), mirroring a training loop's epoch structure.
+        """
+        n = len(self.x)
+        if self.shuffle:
+            order = epoch_permutation(n, self.epoch, self.seed)
+        else:
+            order = np.arange(n)
+        aug_rng = np.random.default_rng((self.seed, self.epoch, self.rank))
+        for lo in range(0, n, self.batch_size):
+            global_idx = order[lo : lo + self.batch_size]
+            local_idx = shard_batch(global_idx, self.world, self.rank)
+            if len(local_idx) == 0:
+                continue
+            xb = self._augment(self.x[local_idx], aug_rng)
+            yield xb, self.y[local_idx]
+        self.epoch += 1

@@ -1,0 +1,71 @@
+"""``repro.experiments`` — one driver per paper table/figure.
+
+Each module exposes ``run(scale="small") -> ExperimentResult``; run any of
+them from the command line with ``python -m repro.experiments <name>``.
+"""
+
+from . import (
+    scorecard,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+    figure9,
+    figure10,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+    table8,
+    table9,
+    table10,
+    table11,
+    table12,
+)
+from .proxy import ProxyRun, SCALES, proxy_dataset, run_proxy
+from .report import ExperimentResult, format_table
+
+#: every reproducible experiment, keyed by its paper label
+EXPERIMENTS = {
+    "table1": table1.run,
+    "table2": table2.run,
+    "table3": table3.run,
+    "table4": table4.run,
+    "table5": table5.run,
+    "table6": table6.run,
+    "table7": table7.run,
+    "table8": table8.run,
+    "table9": table9.run,
+    "table10": table10.run,
+    "table11": table11.run,
+    "table12": table12.run,
+    "figure1": figure1.run,
+    "figure2": figure2.run,
+    "figure3": figure3.run,
+    "figure4": figure4.run,
+    "figure5": figure5.run,
+    "figure6": figure6.run,
+    "figure7": figure7.run,
+    "figure8": figure8.run,
+    "figure9": figure9.run,
+    "figure10": figure10.run,
+    # bonus: the analytic scorecard (not a paper table; a one-screen summary)
+    "scorecard": scorecard.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "format_table",
+    "ProxyRun",
+    "SCALES",
+    "proxy_dataset",
+    "run_proxy",
+]

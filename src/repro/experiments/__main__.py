@@ -1,0 +1,38 @@
+"""Command-line entry: ``python -m repro.experiments [name ...] [--scale s]``.
+
+With no names, every experiment runs in paper order (this is how
+EXPERIMENTS.md's result blocks are regenerated).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from . import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument("names", nargs="*", default=[],
+                        help=f"experiments to run (default: all). Known: {', '.join(EXPERIMENTS)}")
+    parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"],
+                        help="proxy-experiment size preset")
+    args = parser.parse_args(argv)
+
+    names = args.names or list(EXPERIMENTS)
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {unknown}")
+    for name in names:
+        result = EXPERIMENTS[name](scale=args.scale)
+        print(result.format())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

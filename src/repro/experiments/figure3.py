@@ -1,0 +1,56 @@
+"""Figure 3 — AlexNet throughput vs per-GPU batch size on an M40.
+
+The paper's observations: throughput rises with batch (better GEMM
+efficiency), batch 512 is the sweet spot, batch 1024 is out of memory.
+"""
+
+from __future__ import annotations
+
+from ..nn import activation_elements_per_example
+from ..nn.models import build_model, paper_model_cost
+from ..perfmodel import device, throughput_curve
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+_ACT_CACHE: dict[str, int] = {}
+
+
+def _activations(name: str, shape) -> int:
+    if name not in _ACT_CACHE:
+        _ACT_CACHE[name] = activation_elements_per_example(build_model(name), shape)
+    return _ACT_CACHE[name]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    cost = paper_model_cost("alexnet")
+    act = _activations("alexnet", (3, 227, 227))
+    curve = throughput_curve(cost, device("m40"), act,
+                             batch_sizes=[32, 64, 128, 256, 512, 1024])
+    rows = [
+        {
+            "batch_per_gpu": p.batch_size,
+            "images_per_second": p.images_per_second if p.fits_in_memory else None,
+            "utilisation": p.utilisation,
+            "memory_GiB": p.memory_bytes / 2**30,
+            "status": "ok" if p.fits_in_memory else "OUT OF MEMORY",
+        }
+        for p in curve
+    ]
+    best = max((r for r in rows if r["status"] == "ok"),
+               key=lambda r: r["images_per_second"])
+    return ExperimentResult(
+        experiment="figure3",
+        title="AlexNet images/s vs per-GPU batch on NVIDIA M40",
+        columns=["batch_per_gpu", "images_per_second", "utilisation",
+                 "memory_GiB", "status"],
+        rows=rows,
+        notes=(
+            f"Best feasible batch: {best['batch_per_gpu']} (paper: 512); "
+            "batch 1024 exceeds the M40's 12 GiB (paper: 'out of memory')."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

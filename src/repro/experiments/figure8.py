@@ -1,0 +1,33 @@
+"""Figure 8 — iterations vs batch size at fixed epochs (I = E·n/B)."""
+
+from __future__ import annotations
+
+from ..core import IMAGENET_TRAIN_SIZE
+from ..perfmodel import iterations
+from .report import ExperimentResult
+
+__all__ = ["run", "BATCHES"]
+
+BATCHES = [512, 1024, 2048, 4096, 8192, 16384, 32768]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    rows = [
+        {
+            "batch_size": b,
+            "iterations_100ep": iterations(100, IMAGENET_TRAIN_SIZE, b),
+            "iterations_90ep": iterations(90, IMAGENET_TRAIN_SIZE, b),
+        }
+        for b in BATCHES
+    ]
+    return ExperimentResult(
+        experiment="figure8",
+        title="Iterations vs batch size at fixed epochs",
+        columns=["batch_size", "iterations_100ep", "iterations_90ep"],
+        rows=rows,
+        notes="Doubling the batch halves the iteration count: I = E*n/B.",
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,63 @@
+"""Figure 9 — number of messages vs batch size.
+
+The paper: "The number of iterations is equal to the number of messages the
+algorithm sent (i.e. latency overhead)."  We report the simple model plus a
+*measured* column: messages counted by the simulated fabric for one epoch of
+real cluster training at two batch sizes.
+"""
+
+from __future__ import annotations
+
+from ..cluster import SyncSGDConfig, train_sync_sgd
+from ..core import IMAGENET_TRAIN_SIZE, SGD, ConstantLR
+from ..data import gaussian_blobs
+from ..nn.models import mlp
+from ..perfmodel import iterations, messages
+from .figure8 import BATCHES
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def _measured_messages(batch: int, n: int = 256, world: int = 4) -> tuple[int, int]:
+    """(iterations, fabric messages) for one epoch of real simulated training."""
+    x, y = gaussian_blobs(n, num_classes=3, dim=6, seed=5)
+
+    def builder():
+        return mlp(6, [8], 3, seed=6)
+
+    config = SyncSGDConfig(world=world, epochs=1, batch_size=batch,
+                           algorithm="tree", shuffle_seed=3)
+    res = train_sync_sgd(builder, lambda p: SGD(p, momentum=0.9, weight_decay=0.0),
+                         ConstantLR(0.05), x, y, x[:32], y[:32], config)
+    return res.history[0].iterations, res.messages
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    rows = [
+        {
+            "batch_size": b,
+            "iterations": iterations(100, IMAGENET_TRAIN_SIZE, b),
+            "messages_simple_model": messages(100, IMAGENET_TRAIN_SIZE, b),
+        }
+        for b in BATCHES
+    ]
+    it_small, msg_small = _measured_messages(16)
+    it_large, msg_large = _measured_messages(64)
+    return ExperimentResult(
+        experiment="figure9",
+        title="Messages vs batch size (model + fabric measurement)",
+        columns=["batch_size", "iterations", "messages_simple_model"],
+        rows=rows,
+        notes=(
+            "Measured on the simulated fabric (4 ranks, 1 epoch): batch 16 "
+            f"-> {it_small} iterations / {msg_small} messages; batch 64 -> "
+            f"{it_large} iterations / {msg_large} messages.  Message count "
+            f"scales with iterations ({msg_small / max(msg_large, 1):.1f}x vs "
+            f"{it_small / max(it_large, 1):.1f}x)."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,191 @@
+"""Shared machinery for the laptop-scale convergence experiments.
+
+Mapping to the paper (DESIGN.md §6): the proxy keeps the paper's *relative*
+batch scale k = B/B_baseline, which is what controls large-batch difficulty.
+With the proxy baseline batch fixed at 8 for AlexNet-family runs (paper 512)
+and 4 for ResNet-family runs (paper 256), the paper's batch axis maps as
+
+    AlexNet:  512 -> 8,   4096 -> 64,  8192 -> 128, 32768 -> 512
+    ResNet:   256 -> 4,   8192 -> 128, 16384 -> 256, 32768 -> 512, 65536 -> 1024
+
+Warmup lengths keep the paper's epoch *fraction* (5/90 epochs -> the same
+fraction of the proxy run).  All runs share one seeded dataset per scale and
+results are memoised per process so benchmark files that share sweep points
+(e.g. Table 10 and Figure 1) pay for each training run once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core import LARS, SGD, Trainer, TrainResult, iterations_per_epoch, paper_schedule
+from ..data import Dataset, make_dataset
+from ..nn.models import micro_alexnet, micro_resnet
+
+__all__ = [
+    "ProxyRun",
+    "ProxyScale",
+    "SCALES",
+    "proxy_dataset",
+    "run_proxy",
+    "alexnet_proxy_batch",
+    "resnet_proxy_batch",
+    "ALEXNET_BASE_BATCH",
+    "RESNET_BASE_BATCH",
+]
+
+#: proxy baseline batches (paper: AlexNet 512, ResNet-50 256)
+ALEXNET_BASE_BATCH = 8
+RESNET_BASE_BATCH = 4
+
+
+def alexnet_proxy_batch(paper_batch: int) -> int:
+    """Map a paper AlexNet batch size onto the proxy axis (512 -> 8)."""
+    return max(1, paper_batch * ALEXNET_BASE_BATCH // 512)
+
+
+def resnet_proxy_batch(paper_batch: int) -> int:
+    """Map a paper ResNet-50 batch size onto the proxy axis (256 -> 4)."""
+    return max(1, paper_batch * RESNET_BASE_BATCH // 256)
+
+
+@dataclass(frozen=True)
+class ProxyScale:
+    """Size preset for the convergence experiments."""
+
+    name: str
+    train_size: int
+    test_size: int
+    epochs: int
+    num_classes: int = 8
+    image_size: int = 12
+    noise: float = 2.0
+    model_width: int = 8
+    hidden: int = 64
+
+
+SCALES: dict[str, ProxyScale] = {
+    # seconds per run — used by the test suite
+    "tiny": ProxyScale("tiny", train_size=512, test_size=128, epochs=8,
+                       num_classes=4, image_size=8, noise=1.5, model_width=4,
+                       hidden=32),
+    # ~5 s per run — the benchmark harness default; EXPERIMENTS.md numbers
+    "small": ProxyScale("small", train_size=1024, test_size=256, epochs=15),
+    # fuller runs for the examples
+    "medium": ProxyScale("medium", train_size=4096, test_size=512, epochs=20,
+                         num_classes=16, image_size=16, model_width=12,
+                         hidden=96),
+}
+
+_DATASETS: dict[str, Dataset] = {}
+_RESULTS: dict[tuple, TrainResult] = {}
+
+
+def proxy_dataset(scale: str) -> Dataset:
+    """The shared seeded dataset for ``scale`` (cached per process)."""
+    if scale not in SCALES:
+        raise KeyError(f"unknown scale {scale!r}; available: {sorted(SCALES)}")
+    if scale not in _DATASETS:
+        s = SCALES[scale]
+        _DATASETS[scale] = make_dataset(
+            num_classes=s.num_classes,
+            image_size=s.image_size,
+            train_size=s.train_size,
+            test_size=s.test_size,
+            noise=s.noise,
+            seed=42,
+        )
+    return _DATASETS[scale]
+
+
+@dataclass(frozen=True)
+class ProxyRun:
+    """One convergence-run configuration on the proxy axis.
+
+    ``model_kind`` selects the architecture family standing in for the
+    paper's model: ``"alexnet"`` (LRN variant — Table 5's regime),
+    ``"alexnet_bn"`` and ``"resnet"``.
+    """
+
+    model_kind: str  # "alexnet" | "alexnet_bn" | "resnet"
+    batch: int
+    peak_lr: float
+    warmup_epochs: float = 0.0
+    use_lars: bool = False
+    trust_coefficient: float = 0.01
+    momentum: float = 0.9
+    weight_decay: float = 0.0005
+    poly_power: float = 2.0
+    seed: int = 3
+    #: override the scale preset's epoch budget (e.g. the paper's 64-epoch
+    #: short run of Table 1); None uses the preset
+    epochs: int | None = None
+
+    def __post_init__(self):
+        if self.model_kind not in ("alexnet", "alexnet_bn", "resnet"):
+            raise ValueError(f"unknown model_kind {self.model_kind!r}")
+        if self.batch <= 0 or self.peak_lr < 0:
+            raise ValueError("batch must be positive and peak_lr non-negative")
+
+    def build_model(self, scale: ProxyScale):
+        if self.model_kind == "resnet":
+            return micro_resnet(
+                num_classes=scale.num_classes,
+                width=scale.model_width,
+                blocks_per_stage=1,
+                seed=self.seed,
+            )
+        norm = "lrn" if self.model_kind == "alexnet" else "bn"
+        return micro_alexnet(
+            num_classes=scale.num_classes,
+            image_size=scale.image_size,
+            width=scale.model_width,
+            hidden=scale.hidden,
+            norm=norm,
+            seed=self.seed,
+        )
+
+    def build_optimizer(self, params):
+        if self.use_lars:
+            return LARS(
+                params,
+                trust_coefficient=self.trust_coefficient,
+                momentum=self.momentum,
+                weight_decay=self.weight_decay,
+            )
+        return SGD(params, momentum=self.momentum, weight_decay=self.weight_decay)
+
+
+def run_proxy(cfg: ProxyRun, scale: str = "small") -> TrainResult:
+    """Train one proxy configuration; memoised per (cfg, scale).
+
+    Divergent runs (inf/nan loss) are expected for the mis-scaled baselines
+    the paper tables show as 0.001 accuracy — fp warnings are silenced and
+    the accuracy simply lands near chance.
+    """
+    key = (cfg, scale)
+    if key in _RESULTS:
+        return _RESULTS[key]
+    s = SCALES[scale]
+    ds = proxy_dataset(scale)
+    batch = min(cfg.batch, ds.n_train)
+    epochs = cfg.epochs if cfg.epochs is not None else s.epochs
+    ipe = iterations_per_epoch(ds.n_train, batch)
+    sched = paper_schedule(
+        cfg.peak_lr,
+        epochs * ipe,
+        round(cfg.warmup_epochs * ipe),
+        power=cfg.poly_power,
+    )
+    model = cfg.build_model(s)
+    trainer = Trainer(model, cfg.build_optimizer(model.parameters()), sched,
+                      shuffle_seed=1)
+    with np.errstate(all="ignore"):
+        result = trainer.fit(
+            ds.x_train, ds.y_train, ds.x_test, ds.y_test,
+            epochs=epochs, batch_size=batch,
+        )
+    _RESULTS[key] = result
+    return result

@@ -1,0 +1,68 @@
+"""Experiment result container and ascii-table rendering.
+
+Every experiment driver returns an :class:`ExperimentResult` whose rows can
+be printed as the same table the paper shows, usually with a ``paper``
+column next to ``ours`` so the comparison is immediate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Sequence
+
+__all__ = ["ExperimentResult", "format_table", "fmt"]
+
+
+def fmt(value: Any) -> str:
+    """Human-friendly cell formatting."""
+    if value is None:
+        return "—"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        if value != value:  # nan
+            return "—"
+        if abs(value) >= 1e5 or (0 < abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(columns: Sequence[str], rows: Sequence[dict]) -> str:
+    """Render dict-rows as an aligned ascii table."""
+    cells = [[fmt(r.get(c)) for c in columns] for r in rows]
+    widths = [
+        max(len(c), *(len(row[i]) for row in cells)) if cells else len(c)
+        for i, c in enumerate(columns)
+    ]
+    header = "  ".join(c.ljust(w) for c, w in zip(columns, widths))
+    sep = "  ".join("-" * w for w in widths)
+    body = ["  ".join(cell.ljust(w) for cell, w in zip(row, widths)) for row in cells]
+    return "\n".join([header, sep, *body])
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table or figure."""
+
+    experiment: str  # e.g. "table5", "figure1"
+    title: str
+    columns: list[str]
+    rows: list[dict] = field(default_factory=list)
+    notes: str = ""
+
+    def format(self) -> str:
+        parts = [f"== {self.experiment}: {self.title} ==",
+                 format_table(self.columns, self.rows)]
+        if self.notes:
+            parts.append(self.notes)
+        return "\n".join(parts)
+
+    def column(self, name: str) -> list:
+        return [r.get(name) for r in self.rows]
+
+    def row_by(self, key: str, value) -> dict:
+        for r in self.rows:
+            if r.get(key) == value:
+                return r
+        raise KeyError(f"no row with {key}={value!r}")

@@ -1,0 +1,108 @@
+"""Reproduction scorecard — every *analytic* paper number in one table.
+
+Collects the quantitative claims that the performance model and the cost
+accounting regenerate (wall-clock rows of Tables 8/9, Table 6 constants,
+iteration counts, the Figure 3 optimum) and prints paper-vs-ours with a
+pass/fail verdict per row.  Convergence (accuracy) results live in the
+training experiments and EXPERIMENTS.md; this is the fast, deterministic
+half of the reproduction, runnable in milliseconds:
+
+    python -m repro.experiments.scorecard
+"""
+
+from __future__ import annotations
+
+from ..core import IMAGENET_TRAIN_SIZE
+from ..nn import activation_elements_per_example
+from ..nn.models import build_model, paper_model_cost
+from ..perfmodel import (
+    device,
+    device_throughput,
+    estimate_training_time,
+    iterations,
+    network,
+)
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+#: (label, paper value, tolerance ratio, callable producing our value)
+def _rows() -> list[tuple[str, float, float]]:
+    rows = []
+
+    def add(label, paper, ours, tol=1.5):
+        rows.append({"claim": label, "paper": paper, "ours": ours,
+                     "ratio": ours / paper if paper else float("nan"),
+                     "ok": paper / tol <= ours <= paper * tol})
+
+    # Table 6
+    alex, res = paper_model_cost("alexnet"), paper_model_cost("resnet50")
+    add("AlexNet parameters (M)", 61, alex.parameters / 1e6, tol=1.05)
+    add("AlexNet flops/image (G)", 1.5, alex.flops_per_image / 1e9, tol=1.15)
+    add("ResNet-50 parameters (M)", 25, res.parameters / 1e6, tol=1.05)
+    add("ResNet-50 flops/image (G)", 7.7, res.flops_per_image / 1e9, tol=1.15)
+    add("scaling-ratio factor (R50/Alex)", 12.5,
+        res.scaling_ratio / alex.scaling_ratio, tol=1.25)
+
+    # headline wall-clock rows (minutes)
+    def minutes(model, epochs, batch, procs, dev, net):
+        return estimate_training_time(
+            paper_model_cost(model), epochs=epochs,
+            dataset_size=IMAGENET_TRAIN_SIZE, global_batch=batch,
+            processors=procs, device=device(dev), net=network(net),
+        ).total_minutes
+
+    add("AlexNet-BN 32K/1024 CPUs (min)", 11,
+        minutes("alexnet_bn", 100, 32768, 1024, "skylake", "opa"))
+    add("AlexNet-BN 32K/512 KNLs (min)", 24,
+        minutes("alexnet_bn", 100, 32768, 512, "knl", "opa"))
+    add("AlexNet 512/DGX-1 (min)", 370,
+        minutes("alexnet", 100, 512, 8, "p100", "nvlink"))
+    add("AlexNet 4096/DGX-1 (min)", 139,
+        minutes("alexnet", 100, 4096, 8, "p100", "nvlink"))
+    add("ResNet-50 32K/2048 KNLs (min)", 20,
+        minutes("resnet50", 90, 32768, 2048, "knl", "opa"))
+    add("ResNet-50 64ep 32K/2048 KNLs (min)", 14,
+        minutes("resnet50", 64, 32768, 2048, "knl", "opa"))
+    add("ResNet-50 32K/1024 CPUs (min)", 48,
+        minutes("resnet50", 90, 32768, 1024, "skylake", "opa"))
+    add("ResNet-50 16000/1600 CPUs (min)", 31,
+        minutes("resnet50", 90, 16000, 1600, "skylake", "opa"))
+    add("ResNet-50 8K/256 P100s (min, Facebook)", 60,
+        minutes("resnet50", 90, 8192, 256, "p100", "fdr"))
+    add("ResNet-50 256/DGX-1 (min)", 21 * 60,
+        minutes("resnet50", 90, 256, 8, "p100", "nvlink"))
+    add("AlexNet 256/K20 (min)", 144 * 60,
+        minutes("alexnet", 100, 256, 1, "k20", "nvlink"))
+
+    # counting identities
+    add("iterations @32K, 90 ep", 3600,
+        iterations(90, IMAGENET_TRAIN_SIZE, 32768), tol=1.01)
+    add("iterations @512, 100 ep", 250_000,
+        iterations(100, 1_280_000, 512), tol=1.01)
+
+    # Figure 3 optimum
+    act = activation_elements_per_example(build_model("alexnet"), (3, 227, 227))
+    feasible = [
+        b for b in (128, 256, 512, 1024)
+        if device_throughput(alex, b, device("m40"), act).fits_in_memory
+    ]
+    add("Figure 3 best feasible batch (M40)", 512, max(feasible), tol=1.01)
+    return rows
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    rows = _rows()
+    passed = sum(1 for r in rows if r["ok"])
+    return ExperimentResult(
+        experiment="scorecard",
+        title="Analytic reproduction scorecard (paper vs ours)",
+        columns=["claim", "paper", "ours", "ratio", "ok"],
+        rows=rows,
+        notes=f"{passed}/{len(rows)} claims within tolerance (1.5x for "
+              "wall-clock rows, tighter for counts).",
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

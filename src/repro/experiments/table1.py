@@ -1,0 +1,80 @@
+"""Table 1 — headline: 32K-batch ResNet-50 to 74.9 % top-1, ours vs Akiba.
+
+The paper's row is 64 epochs in 14 minutes on 2048 KNLs vs Akiba et al.'s
+15 minutes on 1024 P100s.  We regenerate the time side from the performance
+model and the accuracy side from the proxy: the 64-epoch LARS run at the
+32K-equivalent relative batch reaches the fraction of baseline accuracy the
+paper's 74.9 %/75.3 % ratio implies.
+"""
+
+from __future__ import annotations
+
+from ..core import IMAGENET_TRAIN_SIZE
+from ..nn.models import paper_model_cost
+from ..perfmodel import device, estimate_training_time, network
+from .proxy import ProxyRun, RESNET_BASE_BATCH, SCALES, resnet_proxy_batch, run_proxy
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    cost = paper_model_cost("resnet50")
+    ours = estimate_training_time(
+        cost, epochs=64, dataset_size=IMAGENET_TRAIN_SIZE, global_batch=32768,
+        processors=2048, device=device("knl"), net=network("opa"),
+    )
+    # proxy accuracy: a complete run with 64/90 of the epoch budget (its own
+    # schedule decays fully within the shortened run, as the paper's did)
+    s = SCALES[scale]
+    base = run_proxy(ProxyRun("resnet", RESNET_BASE_BATCH, 0.05), scale)
+    short_epochs = max(2, round(64 / 90 * s.epochs))
+    big = run_proxy(
+        ProxyRun(
+            "resnet",
+            resnet_proxy_batch(32768),
+            0.05 * resnet_proxy_batch(32768) / RESNET_BASE_BATCH,
+            warmup_epochs=max(2.0, 5 / 90 * short_epochs),
+            use_lars=True,
+            trust_coefficient=0.01,
+            epochs=short_epochs,
+        ),
+        scale,
+    )
+    acc_at_short = big.peak_test_accuracy
+    rows = [
+        {
+            "work": "Akiba et al. (paper-reported)",
+            "batch": 32768,
+            "accuracy": 0.749,
+            "time_min": 15.0,
+        },
+        {
+            "work": "You et al. (paper-reported)",
+            "batch": 32768,
+            "accuracy": 0.749,
+            "time_min": 14.0,
+        },
+        {
+            "work": "ours (perfmodel, 64 ep, 2048 KNLs)",
+            "batch": 32768,
+            "accuracy": acc_at_short,
+            "time_min": ours.total_minutes,
+        },
+    ]
+    return ExperimentResult(
+        experiment="table1",
+        title="State-of-the-art ImageNet/ResNet-50 training speed (32K batch)",
+        columns=["work", "batch", "accuracy", "time_min"],
+        rows=rows,
+        notes=(
+            "'ours' time is the 64-epoch prediction on 2048 KNLs; 'ours' "
+            f"accuracy is a complete proxy LARS run with {short_epochs}/"
+            f"{s.epochs} of the epoch budget (the 64/90 point), vs the proxy "
+            f"baseline {base.peak_test_accuracy:.3f} — mirroring 74.9% vs 75.3%."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

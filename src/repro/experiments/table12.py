@@ -1,0 +1,43 @@
+"""Table 12 — 45 nm CMOS energy per operation, plus the training-energy
+consequence: at fixed epochs, larger batches slash communication energy."""
+
+from __future__ import annotations
+
+from ..core import IMAGENET_TRAIN_SIZE
+from ..nn.models import paper_model_cost
+from ..perfmodel import ENERGY_TABLE_45NM, energy_ratio, training_energy
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    rows = [
+        {
+            "operation": e.operation,
+            "type": e.kind,
+            "energy_pJ": e.picojoules,
+        }
+        for e in ENERGY_TABLE_45NM
+    ]
+    dram_vs_fmul = energy_ratio("32 bit DRAM access", "32 bit float multiply")
+    c = paper_model_cost("resnet50")
+    e_small = training_energy(c, 90, IMAGENET_TRAIN_SIZE, 256)
+    e_large = training_energy(c, 90, IMAGENET_TRAIN_SIZE, 32768)
+    return ExperimentResult(
+        experiment="table12",
+        title="Energy per operation, 45nm CMOS (Horowitz)",
+        columns=["operation", "type", "energy_pJ"],
+        rows=rows,
+        notes=(
+            f"DRAM access costs {dram_vs_fmul:.0f}x a float multiply. "
+            "Consequence for 90-epoch ResNet-50 gradient traffic: "
+            f"{e_small.comm_joules / 1e3:.1f} kJ at batch 256 vs "
+            f"{e_large.comm_joules / 1e3:.2f} kJ at batch 32K "
+            "(compute energy unchanged)."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

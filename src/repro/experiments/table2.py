@@ -1,0 +1,62 @@
+"""Table 2 — iterations and total time vs batch size at fixed epochs.
+
+The paper's table is symbolic (t_comp, t_comm); we reproduce the symbolic
+rows *and* instantiate them numerically for the paper's own example
+(ResNet-50 training on P100-class machines, 512 images per machine, FDR IB).
+"""
+
+from __future__ import annotations
+
+from ..nn.models import paper_model_cost
+from ..perfmodel import device, estimate_training_time, network, table2_row
+from .report import ExperimentResult
+
+__all__ = ["run"]
+
+BATCHES = [512, 1024, 2048, 4096, 8192, 1_280_000]
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    cost = paper_model_cost("resnet50")
+    dev, net = device("p100"), network("fdr")
+    rows = []
+    for b in BATCHES:
+        sym = table2_row(b, epochs=100, dataset_size=1_280_000)
+        est = estimate_training_time(
+            cost,
+            epochs=100,
+            dataset_size=1_280_000,
+            global_batch=b,
+            processors=sym["gpus"],
+            device=dev,
+            net=net,
+            algorithm="tree",  # the log(P) model the paper tabulates
+        )
+        rows.append(
+            {
+                "batch_size": b,
+                "epochs": 100,
+                "iterations": sym["iterations"],
+                "gpus": sym["gpus"],
+                "iteration_time": sym["iteration_time"],
+                "t_iter_seconds": est.iteration.total_seconds,
+                "total_hours": est.total_hours,
+            }
+        )
+    speedup = rows[0]["total_hours"] / rows[-2]["total_hours"]
+    return ExperimentResult(
+        experiment="table2",
+        title="Iterations and total time vs batch size (fixed 100 epochs)",
+        columns=["batch_size", "epochs", "iterations", "gpus",
+                 "iteration_time", "t_iter_seconds", "total_hours"],
+        rows=rows,
+        notes=(
+            "Iterations fall as 1/B while iteration time grows only as "
+            f"log(P); 512->8192 gives a {speedup:.1f}x predicted speedup "
+            "(paper: 'total time will be much less')."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,58 @@
+"""Table 3 — standard accuracy benchmarks, with our proxy baselines.
+
+The paper's table fixes the targets (AlexNet 58 % @ 100 epochs, ResNet-50
+75.3 % @ 90 epochs).  We reproduce the table and attach the proxy baseline
+each target maps onto — the reference every proxy large-batch run is
+compared against.
+"""
+
+from __future__ import annotations
+
+from ..data.datasets import TARGET_ACCURACY
+from .proxy import ALEXNET_BASE_BATCH, RESNET_BASE_BATCH, ProxyRun, run_proxy
+from .report import ExperimentResult
+
+__all__ = ["run", "proxy_baselines"]
+
+
+def proxy_baselines(scale: str = "small") -> dict[str, float]:
+    """Peak accuracy of the proxy baseline run per model family."""
+    alex = run_proxy(ProxyRun("alexnet", ALEXNET_BASE_BATCH, 0.02), scale)
+    res = run_proxy(ProxyRun("resnet", RESNET_BASE_BATCH, 0.05), scale)
+    return {
+        "alexnet": alex.peak_test_accuracy,
+        "resnet50": res.peak_test_accuracy,
+    }
+
+
+def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
+    base = proxy_baselines(scale)
+    rows = [
+        {
+            "model": "AlexNet",
+            "epochs": 100,
+            "paper_target_top1": TARGET_ACCURACY["alexnet"],
+            "proxy_baseline_top1": base["alexnet"],
+        },
+        {
+            "model": "ResNet-50",
+            "epochs": 90,
+            "paper_target_top1": TARGET_ACCURACY["resnet50"],
+            "proxy_baseline_top1": base["resnet50"],
+        },
+    ]
+    return ExperimentResult(
+        experiment="table3",
+        title="Standard benchmarks for ImageNet training (targets + proxy baselines)",
+        columns=["model", "epochs", "paper_target_top1", "proxy_baseline_top1"],
+        rows=rows,
+        notes=(
+            "The proxy baseline is the small-batch reference every "
+            "large-batch proxy run must match (the paper's 'same accuracy "
+            "in the same number of epochs' criterion)."
+        ),
+    )
+
+
+if __name__ == "__main__":
+    print(run().format())

@@ -1,0 +1,124 @@
+"""Parameter and flop accounting (Table 6 and the paper's headline math).
+
+The paper's communication analysis rests on two per-model constants:
+
+* communication per iteration ∝ model size |W| (number of parameters), and
+* computation per image = forward flops per image (Table 6 quotes ~1.5 Gflop
+  for AlexNet and ~7.7 Gflop for a 225×225 ResNet-50 image).
+
+The "scaling ratio" comp/comm (flops per image / parameters) is what makes
+ResNet-50 ~12.5× easier to scale than AlexNet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .layers.base import Module, Shape
+
+__all__ = [
+    "ModelCost",
+    "count_parameters",
+    "forward_flops_per_image",
+    "training_flops",
+    "scaling_ratio",
+    "model_cost",
+    "activation_elements_per_example",
+    "BYTES_PER_PARAM_FP32",
+    "FWD_BWD_FLOP_FACTOR",
+]
+
+#: single-precision storage, the paper's arithmetic of record
+BYTES_PER_PARAM_FP32 = 4
+
+#: conventional estimate: backward ≈ 2× forward flops, so a training step is
+#: ~3× the forward cost (Goyal et al. use the same convention)
+FWD_BWD_FLOP_FACTOR = 3
+
+
+@dataclass(frozen=True)
+class ModelCost:
+    """Static cost profile of a model at a given input resolution."""
+
+    name: str
+    parameters: int
+    flops_per_image: int  # forward only
+    input_shape: Shape
+
+    @property
+    def model_bytes(self) -> int:
+        """Size of one parameter set (== one gradient message) in bytes."""
+        return self.parameters * BYTES_PER_PARAM_FP32
+
+    @property
+    def scaling_ratio(self) -> float:
+        """comp/comm ratio: forward flops per image / parameter count."""
+        return self.flops_per_image / self.parameters
+
+    def training_flops(self, n_images: int, epochs: int) -> int:
+        """Total training flops at fixed epochs — independent of batch size."""
+        return FWD_BWD_FLOP_FACTOR * self.flops_per_image * n_images * epochs
+
+
+def count_parameters(model: Module) -> int:
+    """Total trainable scalar count of ``model``."""
+    return model.num_parameters()
+
+
+def forward_flops_per_image(model: Module, input_shape: Shape) -> int:
+    """Forward flops to process a single example."""
+    return model.flops_per_example(tuple(input_shape))
+
+
+def training_flops(
+    model: Module, input_shape: Shape, n_images: int, epochs: int
+) -> int:
+    """Total flops for ``epochs`` passes over ``n_images`` examples.
+
+    Fixing epochs fixes this number regardless of batch size — the premise of
+    Figure 6.
+    """
+    return FWD_BWD_FLOP_FACTOR * forward_flops_per_image(model, input_shape) * n_images * epochs
+
+
+def scaling_ratio(model: Module, input_shape: Shape) -> float:
+    """Computation/communication ratio as defined in Table 6."""
+    return forward_flops_per_image(model, input_shape) / count_parameters(model)
+
+
+def activation_elements_per_example(model: Module, input_shape: Shape) -> int:
+    """Scalars of activation storage one example needs through a forward pass.
+
+    Sums every layer's per-example output size (plus the input itself) —
+    the training-memory estimate behind Figure 3's out-of-memory point,
+    since backprop keeps all of them live.
+    """
+    from .layers.base import Sequential
+
+    total = int(np.prod(input_shape))
+    shape = tuple(input_shape)
+
+    def walk(mod: Module, shape: Shape) -> Shape:
+        nonlocal total
+        if isinstance(mod, Sequential):
+            for child in mod.layers:
+                shape = walk(child, shape)
+            return shape
+        out = mod.output_shape(shape)
+        total += int(np.prod(out))
+        return out
+
+    walk(model, shape)
+    return total
+
+
+def model_cost(model: Module, input_shape: Shape, name: str = "") -> ModelCost:
+    """Bundle the static cost numbers the performance model consumes."""
+    return ModelCost(
+        name=name or type(model).__name__,
+        parameters=count_parameters(model),
+        flops_per_image=forward_flops_per_image(model, input_shape),
+        input_shape=tuple(input_shape),
+    )

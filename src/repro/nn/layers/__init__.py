@@ -1,0 +1,35 @@
+"""Layer library for the numpy DNN substrate."""
+
+from .activations import ReLU, Sigmoid, Tanh
+from .base import Module, Sequential
+from .branch import ConcatBranches
+from .conv import Conv2D, col2im, conv_output_hw, im2col
+from .dense import Dense
+from .dropout import Dropout
+from .norm import BatchNorm, LocalResponseNorm, SyncBatchNorm
+from .pooling import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from .reshape import Flatten
+from .residual import Residual
+
+__all__ = [
+    "Module",
+    "Sequential",
+    "ConcatBranches",
+    "Conv2D",
+    "Dense",
+    "Dropout",
+    "BatchNorm",
+    "SyncBatchNorm",
+    "LocalResponseNorm",
+    "ReLU",
+    "Sigmoid",
+    "Tanh",
+    "MaxPool2D",
+    "AvgPool2D",
+    "GlobalAvgPool2D",
+    "Flatten",
+    "Residual",
+    "im2col",
+    "col2im",
+    "conv_output_hw",
+]

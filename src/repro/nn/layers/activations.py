@@ -1,0 +1,84 @@
+"""Elementwise activation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Module, Shape
+
+__all__ = ["ReLU", "Sigmoid", "Tanh"]
+
+
+class _Elementwise(Module):
+    """Shared shape/flop logic for elementwise activations."""
+
+    FLOPS_PER_ELEMENT = 1
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return tuple(input_shape)
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        return self.FLOPS_PER_ELEMENT * int(np.prod(input_shape))
+
+
+class ReLU(_Elementwise):
+    """max(x, 0)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._mask: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._mask = x > 0
+        return np.where(self._mask, x, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            raise RuntimeError("backward called before forward")
+        dx = np.where(self._mask, grad_out, 0.0)
+        self._mask = None
+        return dx
+
+
+class Sigmoid(_Elementwise):
+    FLOPS_PER_ELEMENT = 4
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        # numerically stable logistic: exp only ever sees non-positive args
+        y = np.empty_like(x, dtype=np.float64)
+        pos = x >= 0
+        y[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+        ex = np.exp(x[~pos])
+        y[~pos] = ex / (1.0 + ex)
+        self._y = y
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        dx = grad_out * self._y * (1.0 - self._y)
+        self._y = None
+        return dx
+
+
+class Tanh(_Elementwise):
+    FLOPS_PER_ELEMENT = 4
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._y: np.ndarray | None = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._y = np.tanh(x)
+        return self._y
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._y is None:
+            raise RuntimeError("backward called before forward")
+        dx = grad_out * (1.0 - self._y * self._y)
+        self._y = None
+        return dx

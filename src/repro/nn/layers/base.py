@@ -1,0 +1,206 @@
+"""Module base class and the Sequential container.
+
+Design notes
+------------
+* **Explicit backprop.**  ``forward`` caches activations on ``self``;
+  ``backward`` consumes the cache and returns the gradient w.r.t. the input
+  while accumulating parameter gradients.  Each module therefore supports
+  exactly one outstanding forward at a time, which is all the trainers need.
+* **Shape inference.**  ``output_shape`` propagates *per-example* shapes
+  (channels-first, no batch dimension).  The flop counter and the model
+  builders both rely on it, so a layer must implement it even when its
+  ``forward`` is trivially shape-preserving.
+* **Flop accounting.**  ``flops_per_example`` counts multiply-add pairs as
+  2 flops, matching the convention behind the paper's "1.5 billion flops per
+  AlexNet image / 7.7 billion per ResNet-50 image" (Table 6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from ..tensor import Parameter
+
+__all__ = ["Module", "Sequential"]
+
+Shape = tuple[int, ...]
+
+
+class Module:
+    """Base class for all layers and containers."""
+
+    #: human-readable type name used in summaries
+    def __init__(self) -> None:
+        self.training = True
+        self.name = ""
+
+    # -- interface -----------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def parameters(self) -> list[Parameter]:
+        """All trainable parameters in this subtree, in deterministic order."""
+        params: list[Parameter] = []
+        for child in self.children():
+            params.extend(child.parameters())
+        for attr in vars(self).values():
+            if isinstance(attr, Parameter):
+                params.append(attr)
+        return params
+
+    def children(self) -> Iterator["Module"]:
+        """Direct submodules, in attribute insertion order."""
+        for attr in vars(self).values():
+            if isinstance(attr, Module):
+                yield attr
+            elif isinstance(attr, (list, tuple)):
+                for item in attr:
+                    if isinstance(item, Module):
+                        yield item
+
+    def modules(self) -> Iterator["Module"]:
+        """This module and every descendant (pre-order)."""
+        yield self
+        for child in self.children():
+            yield from child.modules()
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        """Per-example output shape given per-example ``input_shape``."""
+        raise NotImplementedError
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        """Forward flops for one example (multiply+add counted separately)."""
+        return 0
+
+    # -- conveniences ----------------------------------------------------------
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def zero_grad(self) -> None:
+        for p in self.parameters():
+            p.zero_grad()
+
+    def train(self) -> "Module":
+        """Switch this subtree to training mode (BN batch stats, dropout on)."""
+        for m in self.modules():
+            m.training = True
+        return self
+
+    def eval(self) -> "Module":
+        """Switch this subtree to inference mode."""
+        for m in self.modules():
+            m.training = False
+        return self
+
+    def num_parameters(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+    def assign_names(self, prefix: str = "") -> None:
+        """Assign dotted-path names to every parameter in the subtree.
+
+        Called once by model constructors; the names drive LARS's
+        weight/bias distinction and the cluster layer's deterministic
+        parameter ordering, so they must be stable across replicas.
+        """
+        for attr_name, attr in vars(self).items():
+            path = f"{prefix}.{attr_name}" if prefix else attr_name
+            if isinstance(attr, Parameter):
+                attr.name = path
+            elif isinstance(attr, Module):
+                attr.name = path
+                attr.assign_names(path)
+            elif isinstance(attr, (list, tuple)):
+                for i, item in enumerate(attr):
+                    if isinstance(item, Module):
+                        item.name = f"{path}.{i}"
+                        item.assign_names(f"{path}.{i}")
+
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Name → value snapshot of every parameter (copies)."""
+        return {p.name: p.data.copy() for p in self.parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Load values saved by :meth:`state_dict`; shapes must match."""
+        for p in self.parameters():
+            if p.name not in state:
+                raise KeyError(f"missing parameter {p.name!r} in state dict")
+            src = np.asarray(state[p.name])
+            if src.shape != p.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {p.name!r}: {src.shape} vs {p.data.shape}"
+                )
+            p.data[...] = src
+
+    def summary(self, input_shape: Shape) -> str:
+        """Human-readable per-layer table: shapes, params, flops."""
+        lines = [f"{'layer':<40}{'output shape':<20}{'params':>12}{'Mflops':>12}"]
+        shape = tuple(input_shape)
+        total_p = 0
+        total_f = 0
+
+        def walk(mod: Module, shape: Shape) -> Shape:
+            nonlocal total_p, total_f
+            if isinstance(mod, Sequential):
+                for child in mod.layers:
+                    shape = walk(child, shape)
+                return shape
+            own = sum(
+                p.size for p in vars(mod).values() if isinstance(p, Parameter)
+            ) + sum(c.num_parameters() for c in mod.children())
+            fl = mod.flops_per_example(shape)
+            out = mod.output_shape(shape)
+            label = mod.name or type(mod).__name__
+            lines.append(f"{label:<40}{str(out):<20}{own:>12}{fl / 1e6:>12.2f}")
+            total_p += own
+            total_f += fl
+            return out
+
+        walk(self, shape)
+        lines.append(f"{'total':<40}{'':<20}{total_p:>12}{total_f / 1e6:>12.2f}")
+        return "\n".join(lines)
+
+
+class Sequential(Module):
+    """Composition of layers applied in order."""
+
+    def __init__(self, *layers: Module):
+        super().__init__()
+        self.layers: list[Module] = list(layers)
+
+    def append(self, layer: Module) -> None:
+        self.layers.append(layer)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __getitem__(self, idx: int) -> Module:
+        return self.layers[idx]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad_out = layer.backward(grad_out)
+        return grad_out
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        shape = tuple(input_shape)
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        shape = tuple(input_shape)
+        total = 0
+        for layer in self.layers:
+            total += layer.flops_per_example(shape)
+            shape = layer.output_shape(shape)
+        return total

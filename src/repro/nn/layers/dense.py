@@ -1,0 +1,62 @@
+"""Fully-connected layer."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..initializers import Initializer, xavier, zeros
+from ..tensor import Parameter
+from .base import Module, Shape
+
+__all__ = ["Dense"]
+
+
+class Dense(Module):
+    """Affine map ``y = x @ W + b`` with ``W`` of shape ``(in, out)``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        bias: bool = True,
+        weight_init: Initializer = xavier,
+        bias_init: Initializer = zeros,
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__()
+        rng = rng if rng is not None else np.random.default_rng(0)
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(weight_init((in_features, out_features), rng))
+        self.bias = Parameter(bias_init((out_features,), rng), weight_decay=0.0) if bias else None
+        self._x: np.ndarray | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if len(input_shape) != 1 or input_shape[0] != self.in_features:
+            raise ValueError(
+                f"{self.name or 'Dense'}: expected ({self.in_features},), got {input_shape}"
+            )
+        return (self.out_features,)
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        flops = 2 * self.in_features * self.out_features
+        if self.bias is not None:
+            flops += self.out_features
+        return flops
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        out = x @ self.weight.data
+        if self.bias is not None:
+            out += self.bias.data
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward called before forward")
+        self.weight.grad += self._x.T @ grad_out
+        if self.bias is not None:
+            self.bias.grad += grad_out.sum(axis=0)
+        dx = grad_out @ self.weight.data.T
+        self._x = None
+        return dx

@@ -1,0 +1,52 @@
+"""Inverted dropout (AlexNet's classifier uses p=0.5)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Module, Shape
+
+__all__ = ["Dropout"]
+
+
+class Dropout(Module):
+    """Inverted dropout: at train time zero each unit with probability ``p``
+    and scale survivors by ``1/(1-p)``; identity at eval time.
+
+    The mask RNG is owned by the layer so that replicated workers can be
+    seeded identically (sequential consistency requires every replica to draw
+    the same masks for the same global batch).  Call :meth:`reseed` to align
+    replicas.
+    """
+
+    def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self._mask: np.ndarray | None = None
+
+    def reseed(self, seed: int) -> None:
+        self.rng = np.random.default_rng(seed)
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return tuple(input_shape)
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        return int(np.prod(input_shape))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training or self.p == 0.0:
+            self._mask = None
+            return x
+        keep = 1.0 - self.p
+        self._mask = (self.rng.random(x.shape) < keep) / keep
+        return x * self._mask
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._mask is None:
+            return grad_out
+        dx = grad_out * self._mask
+        self._mask = None
+        return dx

@@ -1,0 +1,249 @@
+"""Normalisation layers: BatchNorm (1-D / 2-D) and AlexNet's cross-channel LRN.
+
+The paper's key model tweak is replacing AlexNet's local response
+normalisation with batch normalisation ("AlexNet-BN", the refined model by
+B. Ginsburg) — that change is what lets LARS push the batch size to 32K.
+Both layers are implemented so the benchmark harness can train either
+variant.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..tensor import Parameter
+from .base import Module, Shape
+
+__all__ = ["BatchNorm", "SyncBatchNorm", "LocalResponseNorm"]
+
+
+class BatchNorm(Module):
+    """Batch normalisation over the channel axis.
+
+    Works for both 2-D activations ``(N, F)`` (axis 1 = features) and 4-D
+    activations ``(N, C, H, W)`` (normalises per channel over N, H, W).
+
+    Scale ``gamma`` and shift ``beta`` are created with ``weight_decay=0``:
+    the paper's recipes (and the reference LARS implementation) exempt BN
+    parameters from weight decay, and LARS additionally skips its trust-ratio
+    scaling for them (dispatch is by parameter name, see ``repro.core.lars``).
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.9):
+        super().__init__()
+        self.num_features = num_features
+        self.eps = float(eps)
+        self.momentum = float(momentum)
+        self.gamma = Parameter(np.ones(num_features), weight_decay=0.0)
+        self.beta = Parameter(np.zeros(num_features), weight_decay=0.0)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        if input_shape[0] != self.num_features:
+            raise ValueError(
+                f"{self.name or 'BatchNorm'}: expected {self.num_features} channels, got {input_shape}"
+            )
+        return tuple(input_shape)
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        # normalise + scale + shift: ~4 flops per element
+        return 4 * int(np.prod(input_shape))
+
+    @staticmethod
+    def _reduce_axes(ndim: int) -> tuple[int, ...]:
+        return (0,) if ndim == 2 else (0, 2, 3)
+
+    def _expand(self, v: np.ndarray, ndim: int) -> np.ndarray:
+        return v if ndim == 2 else v[:, None, None]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        axes = self._reduce_axes(x.ndim)
+        if self.training:
+            mean = x.mean(axis=axes)
+            var = x.var(axis=axes)
+            m = self.momentum
+            self.running_mean = m * self.running_mean + (1 - m) * mean
+            self.running_var = m * self.running_var + (1 - m) * var
+        else:
+            mean, var = self.running_mean, self.running_var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - self._expand(mean, x.ndim)) * self._expand(inv_std, x.ndim)
+        out = self._expand(self.gamma.data, x.ndim) * xhat + self._expand(self.beta.data, x.ndim)
+        if self.training:
+            self._cache = (xhat, inv_std)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (training mode)")
+        xhat, inv_std = self._cache
+        axes = self._reduce_axes(grad_out.ndim)
+        m = float(np.prod([grad_out.shape[a] for a in axes]))
+        self.gamma.grad += (grad_out * xhat).sum(axis=axes)
+        self.beta.grad += grad_out.sum(axis=axes)
+        g = self._expand(self.gamma.data, grad_out.ndim)
+        dxhat = grad_out * g
+        # Standard BN backward: dx = (1/m) * inv_std * (m*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+        sum_dxhat = self._expand(dxhat.sum(axis=axes), grad_out.ndim)
+        sum_dxhat_xhat = self._expand((dxhat * xhat).sum(axis=axes), grad_out.ndim)
+        dx = (self._expand(inv_std, grad_out.ndim) / m) * (
+            m * dxhat - sum_dxhat - xhat * sum_dxhat_xhat
+        )
+        self._cache = None
+        return dx
+
+
+class SyncBatchNorm(BatchNorm):
+    """BatchNorm with statistics synchronised across data-parallel ranks.
+
+    Plain per-shard BatchNorm makes a P-worker run differ from the serial
+    large-batch run (each replica normalises with its shard's statistics).
+    SyncBatchNorm allreduces the per-channel (count, sum, sum-of-squares)
+    in the forward pass and the two reduction terms of the BN backward, so
+    the P-worker computation is *exactly* the serial full-batch BN — the
+    sequential-consistency exception disappears (verified in
+    ``tests/cluster/test_sync_bn.py``).
+
+    Usage: build the model with SyncBatchNorm layers and hand each replica
+    its communicator via :meth:`set_comm` (``repro.cluster.train_sync_sgd``
+    does this automatically).  With no communicator attached the layer
+    behaves exactly like local BatchNorm, so the same model class runs
+    serially too.
+
+    Cost note: each layer adds two small allreduces (O(channels) bytes) per
+    iteration — this is what production sync-BN implementations pay as
+    well; the fabric accounts for it like any other traffic.
+    """
+
+    def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.9):
+        super().__init__(num_features, eps=eps, momentum=momentum)
+        self.comm = None  # set per replica by the cluster launcher
+
+    def set_comm(self, comm) -> None:
+        """Attach the rank's communicator (``None`` reverts to local BN)."""
+        self.comm = comm
+
+    def _allreduce(self, vec: np.ndarray) -> np.ndarray:
+        if self.comm is None or self.comm.size == 1:
+            return vec
+        return self.comm.allreduce(vec)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        if not self.training:
+            return super().forward(x)
+        axes = self._reduce_axes(x.ndim)
+        local_count = float(np.prod([x.shape[a] for a in axes])) if x.size else 0.0
+        local_sum = x.sum(axis=axes) if x.size else np.zeros(self.num_features)
+        local_sq = (x * x).sum(axis=axes) if x.size else np.zeros(self.num_features)
+        # one fused allreduce: [count, sum_c..., sumsq_c...]
+        packed = np.concatenate(([local_count], local_sum, local_sq))
+        total = self._allreduce(packed)
+        count = max(total[0], 1.0)
+        mean = total[1 : 1 + self.num_features] / count
+        var = total[1 + self.num_features :] / count - mean * mean
+        var = np.maximum(var, 0.0)
+        m = self.momentum
+        self.running_mean = m * self.running_mean + (1 - m) * mean
+        self.running_var = m * self.running_var + (1 - m) * var
+        inv_std = 1.0 / np.sqrt(var + self.eps)
+        xhat = (x - self._expand(mean, x.ndim)) * self._expand(inv_std, x.ndim)
+        out = self._expand(self.gamma.data, x.ndim) * xhat + self._expand(
+            self.beta.data, x.ndim
+        )
+        self._cache = (xhat, inv_std, count)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward (training mode)")
+        if len(self._cache) == 2:  # eval-mode cache from the parent class
+            return super().backward(grad_out)
+        xhat, inv_std, count = self._cache
+        axes = self._reduce_axes(grad_out.ndim)
+        g = self._expand(self.gamma.data, grad_out.ndim)
+        dxhat = grad_out * g
+        zeros = np.zeros(self.num_features)
+        # gamma/beta gradients stay LOCAL — the cluster's ordinary gradient
+        # allreduce sums them across ranks like every other parameter, which
+        # is exactly the global sum the serial run computes
+        self.gamma.grad += (grad_out * xhat).sum(axis=axes) if grad_out.size else zeros
+        self.beta.grad += grad_out.sum(axis=axes) if grad_out.size else zeros
+        # ...but dx needs the *global* reduction terms of the BN backward
+        local = np.concatenate(
+            [
+                dxhat.sum(axis=axes) if dxhat.size else zeros,
+                (dxhat * xhat).sum(axis=axes) if dxhat.size else zeros,
+            ]
+        )
+        total = self._allreduce(local)
+        n = self.num_features
+        sum_dxhat = self._expand(total[:n], grad_out.ndim)
+        sum_dxhat_xhat = self._expand(total[n:], grad_out.ndim)
+        dx = (self._expand(inv_std, grad_out.ndim) / count) * (
+            count * dxhat - sum_dxhat - xhat * sum_dxhat_xhat
+        )
+        self._cache = None
+        return dx
+
+
+class LocalResponseNorm(Module):
+    """AlexNet's cross-channel local response normalisation.
+
+    ``y_c = x_c / d_c**beta`` with
+    ``d_c = k + (alpha/n) * sum_{c' in window(c)} x_{c'}^2`` where the window
+    spans ``n`` adjacent channels centred on ``c`` (Krizhevsky et al. 2012).
+    Defaults are Caffe's AlexNet values.
+    """
+
+    def __init__(self, size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 1.0):
+        super().__init__()
+        self.size = int(size)
+        self.alpha = float(alpha)
+        self.beta = float(beta)
+        self.k = float(k)
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return tuple(input_shape)
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        # square + windowed sum + pow + divide: ~ (size + 3) per element
+        return (self.size + 3) * int(np.prod(input_shape))
+
+    def _window_sum(self, sq: np.ndarray) -> np.ndarray:
+        """Sliding-window sum of ``sq`` over the channel axis (axis=1)."""
+        n, c = sq.shape[0], sq.shape[1]
+        half = self.size // 2
+        # prefix sums over channels, padded with a leading zero
+        csum = np.cumsum(sq, axis=1)
+        zeros = np.zeros_like(csum[:, :1])
+        csum = np.concatenate([zeros, csum], axis=1)  # (n, c+1, ...)
+        hi = np.minimum(np.arange(c) + half + 1, c)
+        lo = np.maximum(np.arange(c) - half, 0)
+        return csum[:, hi] - csum[:, lo]
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        sq = x * x
+        ssum = self._window_sum(sq)
+        denom = self.k + (self.alpha / self.size) * ssum
+        out = x * denom ** (-self.beta)
+        self._cache = (x, denom)
+        return out
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        x, denom = self._cache
+        # y_c = x_c * d_c^{-beta};  d_j depends on x_c iff c in window(j).
+        # dx_c = g_c d_c^{-beta}
+        #        - 2 beta (alpha/n) x_c * sum_{j: c in win(j)} g_j x_j d_j^{-beta-1}
+        # and "c in window(j)" is symmetric to "j in window(c)" for a centred
+        # window, so the inner sum is again a sliding-window sum.
+        dpow = denom ** (-self.beta)
+        t = grad_out * x * dpow / denom  # g_j x_j d_j^{-beta-1}
+        tsum = self._window_sum(t)
+        dx = grad_out * dpow - 2.0 * self.beta * (self.alpha / self.size) * x * tsum
+        self._cache = None
+        return dx

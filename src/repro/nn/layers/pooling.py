@@ -1,0 +1,133 @@
+"""Pooling layers: max, average, and global average (ResNet's head)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Module, Shape
+from .conv import conv_output_hw, im2col
+
+__all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
+
+
+class MaxPool2D(Module):
+    """Max pooling with a square window."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._cache: tuple | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        c, h, w = input_shape
+        oh, ow = conv_output_hw(h, w, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        return (c, oh, ow)
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        c, oh, ow = self.output_shape(input_shape)
+        return c * oh * ow * (self.kernel_size * self.kernel_size - 1)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        if p > 0:
+            # pad with -inf so padded positions never win the max
+            x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
+        hp, wp = x.shape[2], x.shape[3]
+        # Reuse im2col per channel: treat channels as batch for the unfold.
+        cols, (oh, ow) = im2col(x.reshape(n * c, 1, hp, wp), k, k, s, 0)
+        cols = cols.reshape(n, c, k * k, oh * ow)
+        argmax = cols.argmax(axis=2)
+        out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+        self._cache = ((n, c, h, w), argmax, (oh, ow))
+        return out.reshape(n, c, oh, ow)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        (n, c, h, w), argmax, (oh, ow) = self._cache
+        k, s, p = self.kernel_size, self.stride, self.padding
+        dcols = np.zeros((n, c, k * k, oh * ow))
+        go = grad_out.reshape(n, c, 1, oh * ow)
+        np.put_along_axis(dcols, argmax[:, :, None, :], go, axis=2)
+        from .conv import col2im
+
+        hp, wp = h + 2 * p, w + 2 * p
+        dx = col2im(dcols.reshape(n * c, k * k, oh * ow), (n * c, 1, hp, wp), k, k, s, 0)
+        dx = dx.reshape(n, c, hp, wp)
+        if p > 0:
+            dx = dx[:, :, p:-p, p:-p]
+        self._cache = None
+        return dx
+
+
+class AvgPool2D(Module):
+    """Average pooling with a square window (zero-padded positions count)."""
+
+    def __init__(self, kernel_size: int, stride: int | None = None, padding: int = 0):
+        super().__init__()
+        self.kernel_size = kernel_size
+        self.stride = stride if stride is not None else kernel_size
+        self.padding = padding
+        self._x_shape: tuple | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        c, h, w = input_shape
+        oh, ow = conv_output_hw(h, w, self.kernel_size, self.kernel_size, self.stride, self.padding)
+        return (c, oh, ow)
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        c, oh, ow = self.output_shape(input_shape)
+        return c * oh * ow * self.kernel_size * self.kernel_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        n, c, h, w = x.shape
+        k, s, p = self.kernel_size, self.stride, self.padding
+        cols, (oh, ow) = im2col(x.reshape(n * c, 1, h, w), k, k, s, p)
+        out = cols.reshape(n, c, k * k, oh * ow).mean(axis=2)
+        self._x_shape = x.shape
+        self._ohw = (oh, ow)
+        return out.reshape(n, c, oh, ow)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        oh, ow = self._ohw
+        k, s, p = self.kernel_size, self.stride, self.padding
+        go = grad_out.reshape(n * c, 1, oh * ow) / (k * k)
+        dcols = np.broadcast_to(go, (n * c, k * k, oh * ow))
+        from .conv import col2im
+
+        dx = col2im(np.ascontiguousarray(dcols), (n * c, 1, h, w), k, k, s, p)
+        self._x_shape = None
+        return dx.reshape(n, c, h, w)
+
+
+class GlobalAvgPool2D(Module):
+    """Average over all spatial positions, producing ``(N, C)``."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        c, h, w = input_shape
+        return (c,)
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        return int(np.prod(input_shape))
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.mean(axis=(2, 3))
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        n, c, h, w = self._x_shape
+        dx = np.broadcast_to(grad_out[:, :, None, None], (n, c, h, w)) / (h * w)
+        self._x_shape = None
+        return np.ascontiguousarray(dx)

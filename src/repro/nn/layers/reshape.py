@@ -1,0 +1,31 @@
+"""Shape-manipulation layers."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Module, Shape
+
+__all__ = ["Flatten"]
+
+
+class Flatten(Module):
+    """Collapse all per-example dimensions into one feature vector."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._x_shape: tuple | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        return (int(np.prod(input_shape)),)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x_shape = x.shape
+        return x.reshape(x.shape[0], -1)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._x_shape is None:
+            raise RuntimeError("backward called before forward")
+        dx = grad_out.reshape(self._x_shape)
+        self._x_shape = None
+        return dx

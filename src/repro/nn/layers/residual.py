@@ -1,0 +1,69 @@
+"""Residual blocks (He et al. 2016), the building unit of ResNet-50.
+
+A :class:`Residual` wraps a main branch and an optional projection shortcut;
+the elementwise sum and the final ReLU live here.  Both basic (two 3×3) and
+bottleneck (1×1 → 3×3 → 1×1) branch builders are provided in
+``repro.nn.models.resnet``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Module, Shape
+
+__all__ = ["Residual"]
+
+
+class Residual(Module):
+    """``y = ReLU(branch(x) + shortcut(x))``.
+
+    ``shortcut=None`` means identity, which requires the branch to be
+    shape-preserving (checked at ``output_shape`` time).
+    """
+
+    def __init__(self, branch: Module, shortcut: Module | None = None):
+        super().__init__()
+        self.branch = branch
+        self.shortcut = shortcut
+        self._relu_mask: np.ndarray | None = None
+
+    def output_shape(self, input_shape: Shape) -> Shape:
+        out = self.branch.output_shape(input_shape)
+        short = (
+            tuple(input_shape)
+            if self.shortcut is None
+            else self.shortcut.output_shape(input_shape)
+        )
+        if out != short:
+            raise ValueError(
+                f"residual mismatch: branch {out} vs shortcut {short} for input {input_shape}"
+            )
+        return out
+
+    def flops_per_example(self, input_shape: Shape) -> int:
+        total = self.branch.flops_per_example(input_shape)
+        if self.shortcut is not None:
+            total += self.shortcut.flops_per_example(input_shape)
+        # the add and the ReLU
+        total += 2 * int(np.prod(self.output_shape(input_shape)))
+        return total
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        main = self.branch.forward(x)
+        short = x if self.shortcut is None else self.shortcut.forward(x)
+        pre = main + short
+        self._relu_mask = pre > 0
+        return np.where(self._relu_mask, pre, 0.0)
+
+    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+        if self._relu_mask is None:
+            raise RuntimeError("backward called before forward")
+        dpre = np.where(self._relu_mask, grad_out, 0.0)
+        self._relu_mask = None
+        dx = self.branch.backward(dpre)
+        if self.shortcut is None:
+            dx = dx + dpre
+        else:
+            dx = dx + self.shortcut.backward(dpre)
+        return dx

@@ -1,0 +1,25 @@
+"""Model zoo: the paper's models at full size plus laptop-scale proxies."""
+
+from .alexnet import alexnet, alexnet_bn, micro_alexnet
+from .googlenet import googlenet, inception_module, micro_googlenet
+from .mlp import mlp
+from .registry import MODELS, PAPER_INPUT_SHAPES, build_model, paper_model_cost
+from .resnet import micro_resnet, resnet18, resnet34, resnet50
+
+__all__ = [
+    "alexnet",
+    "alexnet_bn",
+    "micro_alexnet",
+    "googlenet",
+    "micro_googlenet",
+    "inception_module",
+    "resnet18",
+    "resnet34",
+    "resnet50",
+    "micro_resnet",
+    "mlp",
+    "MODELS",
+    "PAPER_INPUT_SHAPES",
+    "build_model",
+    "paper_model_cost",
+]

@@ -1,0 +1,182 @@
+"""AlexNet variants.
+
+Three flavours are provided:
+
+* :func:`alexnet` — Caffe's ``bvlc_alexnet`` (single column, grouped conv2/4/5,
+  LRN after conv1/conv2).  ~61 M parameters / ~1.5 Gflop per 227×227 image,
+  the numbers Table 6 quotes.
+* :func:`alexnet_bn` — B. Ginsburg's refined model the paper uses for batch
+  size 32K: every LRN is removed and BatchNorm is inserted after each
+  convolution (the paper: "we changed local response norm in AlexNet to
+  batch norm").
+* :func:`micro_alexnet` — a width/resolution-scaled member of the same family
+  (conv → norm → ReLU → pool stacks feeding a dropout-regularised MLP head)
+  used for the laptop-scale convergence experiments.  ``norm`` selects
+  ``"lrn"``/``"bn"``/``"none"`` so the Table 5 vs Table 7 contrast (plain
+  AlexNet vs AlexNet-BN) can be reproduced at proxy scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..initializers import constant, gaussian, zeros
+from ..layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    Dropout,
+    Flatten,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["alexnet", "alexnet_bn", "micro_alexnet"]
+
+
+def _alexnet_trunk(rng: np.random.Generator, batch_norm: bool) -> list:
+    """Shared conv trunk; ``batch_norm`` switches LRN → BN per the paper."""
+
+    def norm(channels: int, after_early_conv: bool):
+        if batch_norm:
+            return [BatchNorm(channels)]
+        # original AlexNet applies LRN only after conv1 and conv2
+        return [LocalResponseNorm(size=5, alpha=1e-4, beta=0.75)] if after_early_conv else []
+
+    g = gaussian(0.01)
+    layers: list = []
+    # conv1: 96 x 11x11 / 4
+    layers += [Conv2D(3, 96, 11, stride=4, weight_init=g, rng=rng, bias=not batch_norm)]
+    layers += norm(96, True)
+    layers += [ReLU(), MaxPool2D(3, 2)]
+    # conv2: 256 x 5x5 pad 2, groups 2
+    layers += [
+        Conv2D(96, 256, 5, padding=2, groups=2, weight_init=g,
+               bias_init=constant(0.1) if not batch_norm else zeros,
+               rng=rng, bias=not batch_norm)
+    ]
+    layers += norm(256, True)
+    layers += [ReLU(), MaxPool2D(3, 2)]
+    # conv3/4/5
+    layers += [Conv2D(256, 384, 3, padding=1, weight_init=g, rng=rng, bias=not batch_norm)]
+    layers += norm(384, False)
+    layers += [ReLU()]
+    layers += [
+        Conv2D(384, 384, 3, padding=1, groups=2, weight_init=g,
+               bias_init=constant(0.1) if not batch_norm else zeros,
+               rng=rng, bias=not batch_norm)
+    ]
+    layers += norm(384, False)
+    layers += [ReLU()]
+    layers += [
+        Conv2D(384, 256, 3, padding=1, groups=2, weight_init=g,
+               bias_init=constant(0.1) if not batch_norm else zeros,
+               rng=rng, bias=not batch_norm)
+    ]
+    layers += norm(256, False)
+    layers += [ReLU(), MaxPool2D(3, 2)]
+    return layers
+
+
+def _alexnet_head(
+    rng: np.random.Generator, in_features: int, num_classes: int, dropout: float
+) -> list:
+    g005 = gaussian(0.005)
+    g001 = gaussian(0.01)
+    layers: list = [Flatten()]
+    layers += [Dense(in_features, 4096, weight_init=g005, bias_init=constant(0.1), rng=rng), ReLU()]
+    if dropout > 0:
+        layers += [Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))]
+    layers += [Dense(4096, 4096, weight_init=g005, bias_init=constant(0.1), rng=rng), ReLU()]
+    if dropout > 0:
+        layers += [Dropout(dropout, rng=np.random.default_rng(rng.integers(2**31)))]
+    layers += [Dense(4096, num_classes, weight_init=g001, rng=rng)]
+    return layers
+
+
+def alexnet(
+    num_classes: int = 1000,
+    dropout: float = 0.5,
+    seed: int = 0,
+) -> Sequential:
+    """Full-size Caffe AlexNet for 3×227×227 inputs (~61 M parameters)."""
+    rng = np.random.default_rng(seed)
+    trunk = _alexnet_trunk(rng, batch_norm=False)
+    model = Sequential(*trunk)
+    feat = int(np.prod(model.output_shape((3, 227, 227))))
+    for layer in _alexnet_head(rng, feat, num_classes, dropout):
+        model.append(layer)
+    model.assign_names("alexnet")
+    return model
+
+
+def alexnet_bn(
+    num_classes: int = 1000,
+    dropout: float = 0.5,
+    seed: int = 0,
+) -> Sequential:
+    """AlexNet-BN (Ginsburg's refined model): BN after every convolution."""
+    rng = np.random.default_rng(seed)
+    trunk = _alexnet_trunk(rng, batch_norm=True)
+    model = Sequential(*trunk)
+    feat = int(np.prod(model.output_shape((3, 227, 227))))
+    for layer in _alexnet_head(rng, feat, num_classes, dropout):
+        model.append(layer)
+    model.assign_names("alexnet_bn")
+    return model
+
+
+def micro_alexnet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    image_size: int = 32,
+    width: int = 16,
+    hidden: int = 128,
+    norm: str = "bn",
+    dropout: float = 0.0,
+    seed: int = 0,
+) -> Sequential:
+    """Width/resolution-scaled AlexNet-family proxy for laptop training.
+
+    Architecture: two conv→norm→ReLU→pool stages and one conv→norm→ReLU
+    stage (mirroring AlexNet's 5-conv trunk compressed to 3), then the
+    dropout-regularised two-layer MLP head.  ``norm``:
+
+    * ``"lrn"`` — plays the role of the original AlexNet (Table 5 regime),
+    * ``"bn"``  — plays AlexNet-BN (Table 7 / batch-32K regime),
+    * ``"none"`` — ablation.
+    """
+    if norm not in ("lrn", "bn", "none"):
+        raise ValueError(f"unknown norm {norm!r}")
+    rng = np.random.default_rng(seed)
+
+    def norm_layers(channels: int) -> list:
+        if norm == "bn":
+            return [BatchNorm(channels)]
+        if norm == "lrn":
+            return [LocalResponseNorm(size=5)]
+        return []
+
+    layers: list = []
+    c = in_channels
+    for stage, (out_c, pool) in enumerate(
+        [(width, True), (2 * width, True), (2 * width, False)]
+    ):
+        layers += [Conv2D(c, out_c, 3, padding=1, rng=rng, bias=(norm != "bn"))]
+        layers += norm_layers(out_c)
+        layers += [ReLU()]
+        if pool:
+            layers += [MaxPool2D(2, 2)]
+        c = out_c
+    model = Sequential(*layers)
+    feat = int(np.prod(model.output_shape((in_channels, image_size, image_size))))
+    model.append(Flatten())
+    model.append(Dense(feat, hidden, rng=rng))
+    model.append(ReLU())
+    if dropout > 0:
+        model.append(Dropout(dropout, rng=np.random.default_rng(seed + 1)))
+    model.append(Dense(hidden, num_classes, rng=rng))
+    model.assign_names("micro_alexnet")
+    return model

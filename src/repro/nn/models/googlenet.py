@@ -1,0 +1,134 @@
+"""GoogLeNet / Inception-v1 (Szegedy et al. 2015).
+
+FireCaffe — the related-work system the paper's introduction starts from —
+demonstrated cluster-scale training on GoogLeNet (128 K20s, batch 1K), so
+the model zoo carries it too: the full 224×224 architecture for cost
+accounting (≈6.8 M parameters, ≈3 Gflop/image — an even more extreme
+comp/comm ratio than ResNet-50) plus a width-scaled micro variant.
+
+The auxiliary classifier heads are omitted (they only matter for the
+original's vanishing-gradient workaround; parameter/flop accounting of the
+main tower matches the numbers used in scaling discussions).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..initializers import xavier
+from ..layers import (
+    BatchNorm,
+    ConcatBranches,
+    Conv2D,
+    Dense,
+    Dropout,
+    GlobalAvgPool2D,
+    LocalResponseNorm,
+    MaxPool2D,
+    ReLU,
+    Sequential,
+)
+
+__all__ = ["googlenet", "micro_googlenet", "inception_module"]
+
+
+def _conv_relu(in_c, out_c, k, stride, pad, rng) -> list:
+    return [
+        Conv2D(in_c, out_c, k, stride=stride, padding=pad,
+               weight_init=xavier, rng=rng),
+        ReLU(),
+    ]
+
+
+def inception_module(
+    in_c: int,
+    c1: int,
+    c3r: int,
+    c3: int,
+    c5r: int,
+    c5: int,
+    pool_proj: int,
+    rng: np.random.Generator,
+) -> ConcatBranches:
+    """One Inception block: 1×1 / 3×3(reduced) / 5×5(reduced) / pool-proj."""
+    return ConcatBranches(
+        Sequential(*_conv_relu(in_c, c1, 1, 1, 0, rng)),
+        Sequential(*_conv_relu(in_c, c3r, 1, 1, 0, rng),
+                   *_conv_relu(c3r, c3, 3, 1, 1, rng)),
+        Sequential(*_conv_relu(in_c, c5r, 1, 1, 0, rng),
+                   *_conv_relu(c5r, c5, 5, 1, 2, rng)),
+        Sequential(MaxPool2D(3, 1, padding=1),
+                   *_conv_relu(in_c, pool_proj, 1, 1, 0, rng)),
+    )
+
+
+#: (c1, c3r, c3, c5r, c5, pool_proj) per inception block, Szegedy Table 1
+_INCEPTION_CFG = [
+    ("3a", 64, 96, 128, 16, 32, 32),
+    ("3b", 128, 128, 192, 32, 96, 64),
+    ("pool", None, None, None, None, None, None),
+    ("4a", 192, 96, 208, 16, 48, 64),
+    ("4b", 160, 112, 224, 24, 64, 64),
+    ("4c", 128, 128, 256, 24, 64, 64),
+    ("4d", 112, 144, 288, 32, 64, 64),
+    ("4e", 256, 160, 320, 32, 128, 128),
+    ("pool", None, None, None, None, None, None),
+    ("5a", 256, 160, 320, 32, 128, 128),
+    ("5b", 384, 192, 384, 48, 128, 128),
+]
+
+
+def googlenet(num_classes: int = 1000, dropout: float = 0.4, seed: int = 0) -> Sequential:
+    """Full Inception-v1 main tower for 3×224×224 inputs (~6.8 M params)."""
+    rng = np.random.default_rng(seed)
+    layers: list = [
+        *_conv_relu(3, 64, 7, 2, 3, rng),
+        MaxPool2D(3, 2, padding=1),
+        LocalResponseNorm(),
+        *_conv_relu(64, 64, 1, 1, 0, rng),
+        *_conv_relu(64, 192, 3, 1, 1, rng),
+        LocalResponseNorm(),
+        MaxPool2D(3, 2, padding=1),
+    ]
+    in_c = 192
+    for name, c1, c3r, c3, c5r, c5, pp in _INCEPTION_CFG:
+        if name == "pool":
+            layers.append(MaxPool2D(3, 2, padding=1))
+            continue
+        layers.append(inception_module(in_c, c1, c3r, c3, c5r, c5, pp, rng))
+        in_c = c1 + c3 + c5 + pp
+    layers += [GlobalAvgPool2D()]
+    if dropout > 0:
+        layers += [Dropout(dropout, rng=np.random.default_rng(seed + 1))]
+    layers += [Dense(in_c, num_classes, rng=rng)]
+    model = Sequential(*layers)
+    model.assign_names("googlenet")
+    return model
+
+
+def micro_googlenet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width: int = 8,
+    seed: int = 0,
+) -> Sequential:
+    """Width-scaled Inception proxy: stem + two inception blocks + head."""
+    rng = np.random.default_rng(seed)
+    w = width
+    layers: list = [
+        Conv2D(in_channels, 2 * w, 3, padding=1, weight_init=xavier, rng=rng),
+        BatchNorm(2 * w),
+        ReLU(),
+        MaxPool2D(2, 2),
+        inception_module(2 * w, w, w, 2 * w, w // 2 or 1, w, w, rng),
+    ]
+    in_c = w + 2 * w + w + w
+    layers += [
+        MaxPool2D(2, 2),
+        inception_module(in_c, 2 * w, w, 2 * w, w // 2 or 1, w, w, rng),
+    ]
+    in_c = 2 * w + 2 * w + w + w
+    layers += [GlobalAvgPool2D(), Dense(in_c, num_classes, rng=rng)]
+    model = Sequential(*layers)
+    model.assign_names("micro_googlenet")
+    return model

@@ -1,0 +1,51 @@
+"""Small multilayer perceptrons — used heavily by the test-suite and by the
+sequential-consistency experiments, where a tiny deterministic model makes
+bitwise comparisons cheap."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..layers import BatchNorm, Dense, Flatten, ReLU, Sequential, SyncBatchNorm
+
+__all__ = ["mlp"]
+
+
+def mlp(
+    in_features: int,
+    hidden: Sequence[int],
+    num_classes: int,
+    batch_norm: bool | str = False,
+    flatten_input: bool = False,
+    seed: int = 0,
+) -> Sequential:
+    """Fully-connected classifier ``in → hidden… → num_classes``.
+
+    Parameters
+    ----------
+    flatten_input:
+        Prepend a Flatten layer so image-shaped batches can be fed directly.
+    batch_norm:
+        ``True`` inserts BatchNorm after every hidden affine layer;
+        ``"sync"`` inserts :class:`SyncBatchNorm` (cross-rank statistics on
+        a simulated cluster, plain BN when run serially).
+    """
+    if batch_norm not in (False, True, "sync"):
+        raise ValueError(f"batch_norm must be False, True or 'sync', got {batch_norm!r}")
+    rng = np.random.default_rng(seed)
+    layers: list = [Flatten()] if flatten_input else []
+    prev = in_features
+    for h in hidden:
+        layers.append(Dense(prev, h, rng=rng))
+        if batch_norm == "sync":
+            layers.append(SyncBatchNorm(h))
+        elif batch_norm:
+            layers.append(BatchNorm(h))
+        layers.append(ReLU())
+        prev = h
+    layers.append(Dense(prev, num_classes, rng=rng))
+    model = Sequential(*layers)
+    model.assign_names("mlp")
+    return model

@@ -1,0 +1,61 @@
+"""Model registry: names → constructors, plus the static cost profiles the
+performance model uses for the full-size paper models (Table 6)."""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from ..flops import ModelCost, model_cost
+from ..layers import Sequential
+from .alexnet import alexnet, alexnet_bn, micro_alexnet
+from .googlenet import googlenet, micro_googlenet
+from .mlp import mlp
+from .resnet import micro_resnet, resnet18, resnet34, resnet50
+
+__all__ = ["MODELS", "build_model", "paper_model_cost", "PAPER_INPUT_SHAPES"]
+
+MODELS: dict[str, Callable[..., Sequential]] = {
+    "alexnet": alexnet,
+    "alexnet_bn": alexnet_bn,
+    "googlenet": googlenet,
+    "micro_googlenet": micro_googlenet,
+    "micro_alexnet": micro_alexnet,
+    "resnet18": resnet18,
+    "resnet34": resnet34,
+    "resnet50": resnet50,
+    "micro_resnet": micro_resnet,
+    "mlp": mlp,
+}
+
+#: input resolutions the paper's flop numbers refer to
+PAPER_INPUT_SHAPES = {
+    "alexnet": (3, 227, 227),
+    "alexnet_bn": (3, 227, 227),
+    "googlenet": (3, 224, 224),
+    "resnet18": (3, 224, 224),
+    "resnet34": (3, 224, 224),
+    "resnet50": (3, 224, 224),
+}
+
+_COST_CACHE: dict[str, ModelCost] = {}
+
+
+def build_model(name: str, **kwargs) -> Sequential:
+    """Instantiate a registered model by name."""
+    if name not in MODELS:
+        raise KeyError(f"unknown model {name!r}; available: {sorted(MODELS)}")
+    return MODELS[name](**kwargs)
+
+
+def paper_model_cost(name: str) -> ModelCost:
+    """Cost profile (params, flops/image) of a full-size paper model.
+
+    Instantiating ResNet-50 just to count flops is wasteful, so results are
+    cached per process.
+    """
+    if name not in PAPER_INPUT_SHAPES:
+        raise KeyError(f"{name!r} is not a full-size paper model")
+    if name not in _COST_CACHE:
+        model = build_model(name)
+        _COST_CACHE[name] = model_cost(model, PAPER_INPUT_SHAPES[name], name=name)
+    return _COST_CACHE[name]

@@ -1,0 +1,142 @@
+"""ResNet family (He et al. 2016).
+
+* :func:`resnet50` / :func:`resnet18` / :func:`resnet34` — full-size ImageNet
+  architectures.  ResNet-50 comes out at ~25.5 M parameters and ~7.7 Gflop
+  per 224×224 image, matching Table 6.
+* :func:`micro_resnet` — a CIFAR-style member of the family (3 stages of
+  basic blocks, width-scalable) used for the laptop-scale convergence
+  experiments (Figures 1/4 and Table 10 proxies).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..initializers import he_normal
+from ..layers import (
+    BatchNorm,
+    Conv2D,
+    Dense,
+    GlobalAvgPool2D,
+    MaxPool2D,
+    ReLU,
+    Residual,
+    Sequential,
+)
+
+__all__ = ["resnet18", "resnet34", "resnet50", "micro_resnet"]
+
+
+def _conv_bn(
+    in_c: int, out_c: int, k: int, stride: int, pad: int, rng: np.random.Generator
+) -> list:
+    """conv (no bias) followed by BN — ResNet's atomic unit."""
+    return [
+        Conv2D(in_c, out_c, k, stride=stride, padding=pad, bias=False,
+               weight_init=he_normal, rng=rng),
+        BatchNorm(out_c),
+    ]
+
+
+def _basic_block(in_c: int, out_c: int, stride: int, rng: np.random.Generator) -> Residual:
+    """Two 3×3 convolutions (ResNet-18/34 and the CIFAR variant)."""
+    branch = Sequential(
+        *_conv_bn(in_c, out_c, 3, stride, 1, rng),
+        ReLU(),
+        *_conv_bn(out_c, out_c, 3, 1, 1, rng),
+    )
+    shortcut = None
+    if stride != 1 or in_c != out_c:
+        shortcut = Sequential(*_conv_bn(in_c, out_c, 1, stride, 0, rng))
+    return Residual(branch, shortcut)
+
+
+def _bottleneck_block(
+    in_c: int, mid_c: int, stride: int, rng: np.random.Generator, expansion: int = 4
+) -> Residual:
+    """1×1 reduce → 3×3 → 1×1 expand (ResNet-50/101/152)."""
+    out_c = mid_c * expansion
+    branch = Sequential(
+        *_conv_bn(in_c, mid_c, 1, 1, 0, rng),
+        ReLU(),
+        *_conv_bn(mid_c, mid_c, 3, stride, 1, rng),
+        ReLU(),
+        *_conv_bn(mid_c, out_c, 1, 1, 0, rng),
+    )
+    shortcut = None
+    if stride != 1 or in_c != out_c:
+        shortcut = Sequential(*_conv_bn(in_c, out_c, 1, stride, 0, rng))
+    return Residual(branch, shortcut)
+
+
+def _imagenet_resnet(
+    stage_blocks: list[int],
+    bottleneck: bool,
+    num_classes: int,
+    seed: int,
+    name: str,
+) -> Sequential:
+    rng = np.random.default_rng(seed)
+    layers: list = [
+        *_conv_bn(3, 64, 7, 2, 3, rng),
+        ReLU(),
+        MaxPool2D(3, 2, padding=1),
+    ]
+    widths = [64, 128, 256, 512]
+    expansion = 4 if bottleneck else 1
+    in_c = 64
+    for stage, (n_blocks, mid_c) in enumerate(zip(stage_blocks, widths)):
+        for b in range(n_blocks):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            if bottleneck:
+                layers.append(_bottleneck_block(in_c, mid_c, stride, rng, expansion))
+                in_c = mid_c * expansion
+            else:
+                layers.append(_basic_block(in_c, mid_c, stride, rng))
+                in_c = mid_c
+    layers += [GlobalAvgPool2D(), Dense(in_c, num_classes, rng=rng)]
+    model = Sequential(*layers)
+    model.assign_names(name)
+    return model
+
+
+def resnet18(num_classes: int = 1000, seed: int = 0) -> Sequential:
+    """ResNet-18 for 3×224×224 inputs (~11.7 M parameters)."""
+    return _imagenet_resnet([2, 2, 2, 2], False, num_classes, seed, "resnet18")
+
+
+def resnet34(num_classes: int = 1000, seed: int = 0) -> Sequential:
+    """ResNet-34 for 3×224×224 inputs (~21.8 M parameters)."""
+    return _imagenet_resnet([3, 4, 6, 3], False, num_classes, seed, "resnet34")
+
+
+def resnet50(num_classes: int = 1000, seed: int = 0) -> Sequential:
+    """ResNet-50 for 3×224×224 inputs (~25.5 M parameters, ~7.7 Gflop/image)."""
+    return _imagenet_resnet([3, 4, 6, 3], True, num_classes, seed, "resnet50")
+
+
+def micro_resnet(
+    num_classes: int = 10,
+    in_channels: int = 3,
+    width: int = 8,
+    blocks_per_stage: int = 1,
+    seed: int = 0,
+) -> Sequential:
+    """CIFAR-style ResNet proxy: 3 stages of basic blocks, widths w/2w/4w.
+
+    ``width=16, blocks_per_stage=3`` is the classic ResNet-20; the defaults
+    are smaller still for fast laptop runs.  Expects square inputs of at
+    least 8×8 (three stride-2 stages with a stem that keeps resolution).
+    """
+    rng = np.random.default_rng(seed)
+    layers: list = [*_conv_bn(in_channels, width, 3, 1, 1, rng), ReLU()]
+    in_c = width
+    for stage, mid_c in enumerate([width, 2 * width, 4 * width]):
+        for b in range(blocks_per_stage):
+            stride = 2 if (stage > 0 and b == 0) else 1
+            layers.append(_basic_block(in_c, mid_c, stride, rng))
+            in_c = mid_c
+    layers += [GlobalAvgPool2D(), Dense(in_c, num_classes, rng=rng)]
+    model = Sequential(*layers)
+    model.assign_names("micro_resnet")
+    return model

@@ -1,0 +1,80 @@
+"""``repro.perfmodel`` — analytic α-β-γ performance and energy model.
+
+Device and interconnect profiles (Tables 11/12 as data), the fixed-epoch
+training-time model (Table 2), single-device throughput (Figure 3), the
+communication-accounting sweeps (Figures 6/8/9/10) and energy ranking.
+"""
+
+from .comm_analysis import (
+    comm_volume_bytes,
+    iterations,
+    messages,
+    sweep_batch_sizes,
+    total_flops,
+)
+from .energy import (
+    PJ_PER_FLOP,
+    facility_energy_kwh,
+    PJ_PER_WORD_MOVED,
+    EnergyBreakdown,
+    energy_of,
+    energy_ratio,
+    training_energy,
+)
+from .hardware import (
+    DEVICES,
+    ENERGY_TABLE_45NM,
+    NETWORKS,
+    DeviceProfile,
+    EnergyEntry,
+    device,
+    network,
+)
+from .throughput import (
+    ThroughputPoint,
+    device_throughput,
+    throughput_curve,
+    training_memory_bytes,
+)
+from .timemodel import (
+    IterationBreakdown,
+    overlapped_iteration_time,
+    TrainingTimeEstimate,
+    estimate_training_time,
+    iteration_breakdown,
+    table2_row,
+    weak_scaling_efficiency,
+)
+
+__all__ = [
+    "DeviceProfile",
+    "DEVICES",
+    "NETWORKS",
+    "ENERGY_TABLE_45NM",
+    "EnergyEntry",
+    "device",
+    "network",
+    "IterationBreakdown",
+    "TrainingTimeEstimate",
+    "estimate_training_time",
+    "iteration_breakdown",
+    "overlapped_iteration_time",
+    "table2_row",
+    "weak_scaling_efficiency",
+    "ThroughputPoint",
+    "device_throughput",
+    "throughput_curve",
+    "training_memory_bytes",
+    "iterations",
+    "messages",
+    "comm_volume_bytes",
+    "total_flops",
+    "sweep_batch_sizes",
+    "EnergyBreakdown",
+    "energy_of",
+    "energy_ratio",
+    "facility_energy_kwh",
+    "training_energy",
+    "PJ_PER_FLOP",
+    "PJ_PER_WORD_MOVED",
+]

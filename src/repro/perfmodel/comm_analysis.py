@@ -1,0 +1,86 @@
+"""Communication accounting at fixed epochs — Figures 6, 8, 9 and 10.
+
+With E epochs over n images at batch B and a model of |W| parameters:
+
+* iterations            I = E·n/B                      (Figure 8)
+* messages              ∝ I (one gradient exchange per iteration; Figure 9)
+* communication volume  V = |W|·E·n/B bytes·4          (Figure 10)
+* computation           F = 3·flops/image·E·n — *independent of B* (Figure 6)
+
+The per-algorithm variants multiply by the critical-path message count of
+the chosen allreduce.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..comm.collectives import allreduce_message_count
+from ..nn.flops import BYTES_PER_PARAM_FP32, FWD_BWD_FLOP_FACTOR, ModelCost
+
+__all__ = [
+    "iterations",
+    "messages",
+    "comm_volume_bytes",
+    "total_flops",
+    "sweep_batch_sizes",
+]
+
+
+def iterations(epochs: int, dataset_size: int, batch_size: int) -> int:
+    """I = ⌈E·n/B⌉ — the paper's E×n/B with the ragged final batch kept."""
+    if epochs <= 0 or dataset_size <= 0 or batch_size <= 0:
+        raise ValueError("all arguments must be positive")
+    return epochs * math.ceil(dataset_size / batch_size)
+
+
+def messages(
+    epochs: int,
+    dataset_size: int,
+    batch_size: int,
+    processors: int = 2,
+    algorithm: str = "tree",
+) -> int:
+    """Messages on one rank's critical path over the whole run.
+
+    The paper's simple model counts "number of messages = iterations"; that
+    is the ``processors=2`` tree case (one exchange per iteration, up to a
+    constant).  Larger P multiplies by the algorithm's per-iteration count.
+    """
+    per_iter = max(allreduce_message_count(processors, algorithm), 1)
+    return iterations(epochs, dataset_size, batch_size) * per_iter
+
+
+def comm_volume_bytes(
+    cost: ModelCost, epochs: int, dataset_size: int, batch_size: int
+) -> int:
+    """V = |W| · E·n/B (in bytes, fp32 gradients) — Figure 10."""
+    return cost.parameters * BYTES_PER_PARAM_FP32 * iterations(
+        epochs, dataset_size, batch_size
+    )
+
+
+def total_flops(cost: ModelCost, epochs: int, dataset_size: int) -> int:
+    """F = 3·flops/image·E·n — batch-size independent (Figure 6)."""
+    return FWD_BWD_FLOP_FACTOR * cost.flops_per_image * epochs * dataset_size
+
+
+def sweep_batch_sizes(
+    cost: ModelCost,
+    epochs: int,
+    dataset_size: int,
+    batch_sizes: list[int],
+) -> list[dict]:
+    """One row per batch size: the data behind Figures 6/8/9/10."""
+    rows = []
+    for b in batch_sizes:
+        rows.append(
+            {
+                "batch_size": b,
+                "iterations": iterations(epochs, dataset_size, b),
+                "messages": messages(epochs, dataset_size, b),
+                "comm_volume_bytes": comm_volume_bytes(cost, epochs, dataset_size, b),
+                "total_flops": total_flops(cost, epochs, dataset_size),
+            }
+        )
+    return rows

@@ -1,0 +1,99 @@
+"""Energy accounting from Table 12 (Horowitz, 45 nm CMOS).
+
+The paper's point: "Communication costs much more energy than computation" —
+a 32-bit DRAM access (640 pJ) is ~170× a float multiply (3.7 pJ).  This
+module exposes the table as data plus a coarse training-energy model that
+ranks computation against data movement for a full run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.flops import FWD_BWD_FLOP_FACTOR, ModelCost
+from .comm_analysis import comm_volume_bytes
+from .hardware import ENERGY_TABLE_45NM, EnergyEntry
+
+__all__ = [
+    "energy_of",
+    "energy_ratio",
+    "EnergyBreakdown",
+    "training_energy",
+    "facility_energy_kwh",
+    "PJ_PER_FLOP",
+    "PJ_PER_WORD_MOVED",
+]
+
+_BY_NAME = {e.operation: e for e in ENERGY_TABLE_45NM}
+
+#: average energy per flop: DNN training is a roughly even mul/add mix
+PJ_PER_FLOP = (_BY_NAME["32 bit float add"].picojoules
+               + _BY_NAME["32 bit float multiply"].picojoules) / 2
+
+#: energy per 32-bit word moved across node boundaries; modelled as a DRAM
+#: access on each side (NIC buffers behave like DRAM at 45 nm energy scale)
+PJ_PER_WORD_MOVED = 2 * _BY_NAME["32 bit DRAM access"].picojoules
+
+
+def energy_of(operation: str) -> EnergyEntry:
+    """Look up one Table 12 row by its operation string."""
+    if operation not in _BY_NAME:
+        raise KeyError(f"unknown operation {operation!r}; rows: {sorted(_BY_NAME)}")
+    return _BY_NAME[operation]
+
+
+def energy_ratio(op_a: str, op_b: str) -> float:
+    """How many times more energy ``op_a`` costs than ``op_b``."""
+    return energy_of(op_a).picojoules / energy_of(op_b).picojoules
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules spent computing vs communicating over a training run."""
+
+    compute_joules: float
+    comm_joules: float
+
+    @property
+    def total_joules(self) -> float:
+        return self.compute_joules + self.comm_joules
+
+    @property
+    def comm_fraction(self) -> float:
+        t = self.total_joules
+        return self.comm_joules / t if t else 0.0
+
+
+def training_energy(
+    cost: ModelCost, epochs: int, dataset_size: int, batch_size: int
+) -> EnergyBreakdown:
+    """Arithmetic vs gradient-movement energy at fixed epochs.
+
+    Compute energy is batch-independent (Figure 6's invariance); the
+    communication term shrinks as 1/B — the energy-side version of the
+    paper's large-batch argument.
+    """
+    flops = FWD_BWD_FLOP_FACTOR * cost.flops_per_image * epochs * dataset_size
+    compute_pj = flops * PJ_PER_FLOP
+    words_moved = comm_volume_bytes(cost, epochs, dataset_size, batch_size) / 4
+    comm_pj = words_moved * PJ_PER_WORD_MOVED
+    return EnergyBreakdown(
+        compute_joules=compute_pj * 1e-12, comm_joules=comm_pj * 1e-12
+    )
+
+
+def facility_energy_kwh(estimate, tdp_watts: float) -> float:
+    """Wall-socket energy of a whole training run: P devices at TDP for the
+    predicted duration.
+
+    Takes a :class:`repro.perfmodel.TrainingTimeEstimate` (which knows the
+    processor count and total time) and a per-device power; this is the
+    facility-scale counterpart to :func:`training_energy`'s circuit-level
+    accounting, and it makes the large-batch argument in kWh: faster runs
+    on the same hardware cost proportionally less energy, and communication
+    stalls burn TDP while doing no arithmetic.
+    """
+    if tdp_watts <= 0:
+        raise ValueError("tdp_watts must be positive")
+    joules = estimate.processors * tdp_watts * estimate.total_seconds
+    return joules / 3.6e6

@@ -1,0 +1,195 @@
+"""Hardware profiles: the devices and interconnects the paper measures.
+
+Sources inside the paper:
+
+* P100 peak 10.6 Tflops, KNL-7250 peak 6 Tflops ("NVIDIA P100 GPU and Intel
+  KNL" section); "the power of one P100 GPU is roughly equal to two KNLs".
+* γ = 0.9·10⁻¹³ s/flop for P100 (Table 11 caption).
+* Table 11: α/β for Mellanox FDR IB, Intel QDR IB, Intel 10GbE.
+* Table 12: Horowitz's 45 nm CMOS energy numbers.
+
+Two calibrated quantities turn peaks into predictions:
+
+* ``efficiency`` — sustained fraction of peak at *saturating* local batch,
+  fitted per (device, model) from the paper's own measured rows (Tables 8/9).
+* ``b_half`` — half-saturation local batch of the utilisation curve
+  ``util(b) = b/(b + b_half)`` (Figure 3's "larger batch makes a single GPU
+  faster").  GPUs running AlexNet need large batches to fill the FC-layer
+  GEMMs (b_half ≈ 128 — this is why the paper's DGX-1 AlexNet run speeds up
+  2.7× from batch 512 to 4096); ResNet-50's conv-heavy work saturates almost
+  immediately (the paper's DGX-1 rows show *no* speedup from batch 256 to
+  8192, so b_half ≈ 2); CPUs/KNL don't rely on giant GEMM batching (b_half
+  ≈ 4).
+
+Every calibration is recorded in EXPERIMENTS.md with the paper row that
+pins it down.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..comm.fabric import NetworkProfile
+
+__all__ = [
+    "DeviceProfile",
+    "DEVICES",
+    "NETWORKS",
+    "ENERGY_TABLE_45NM",
+    "EnergyEntry",
+    "device",
+    "network",
+]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """One accelerator / CPU socket.
+
+    Parameters
+    ----------
+    peak_flops:
+        Single-precision peak (the paper considers only fp32).
+    memory_bytes:
+        Device memory bound (drives the Figure 3 OOM point).
+    default_efficiency / model_efficiency:
+        Sustained fraction of peak at saturating batch, with per-model
+        overrides keyed by registry name.
+    default_b_half / model_b_half:
+        Half-saturation local batch of ``util(b) = b/(b + b_half)``.
+    """
+
+    name: str
+    peak_flops: float
+    memory_bytes: float
+    #: board/socket power under load (facility-energy model)
+    tdp_watts: float = 250.0
+    default_efficiency: float = 0.35
+    model_efficiency: dict[str, float] = field(default_factory=dict)
+    default_b_half: float = 8.0
+    model_b_half: dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.peak_flops <= 0 or self.memory_bytes <= 0:
+            raise ValueError("peak_flops and memory_bytes must be positive")
+        if not 0 < self.default_efficiency <= 1:
+            raise ValueError("efficiency must be in (0, 1]")
+        if self.default_b_half < 0:
+            raise ValueError("b_half must be non-negative")
+
+    def efficiency(self, model_name: str | None = None) -> float:
+        if model_name is not None and model_name in self.model_efficiency:
+            return self.model_efficiency[model_name]
+        return self.default_efficiency
+
+    def b_half(self, model_name: str | None = None) -> float:
+        if model_name is not None and model_name in self.model_b_half:
+            return self.model_b_half[model_name]
+        return self.default_b_half
+
+    def utilisation(self, local_batch: float, model_name: str | None = None) -> float:
+        """Fraction of saturated throughput achieved at ``local_batch``."""
+        if local_batch <= 0:
+            raise ValueError("local_batch must be positive")
+        h = self.b_half(model_name)
+        return local_batch / (local_batch + h)
+
+    def sustained_flops(
+        self, model_name: str | None = None, local_batch: float | None = None
+    ) -> float:
+        """Achievable flops/s; includes the batch-utilisation curve when a
+        local batch is given."""
+        rate = self.peak_flops * self.efficiency(model_name)
+        if local_batch is not None:
+            rate *= self.utilisation(local_batch, model_name)
+        return rate
+
+    @property
+    def gamma(self) -> float:
+        """Time per flop at peak (the γ of the paper's α-β-γ discussion)."""
+        return 1.0 / self.peak_flops
+
+
+_GPU_B_HALF = {"alexnet": 128.0, "alexnet_bn": 128.0, "resnet50": 2.0}
+
+#: Devices the paper's experiments use.  Efficiencies/b_half fitted from the
+#: paper's measured rows (see EXPERIMENTS.md "calibration" for the fits).
+DEVICES: dict[str, DeviceProfile] = {
+    # Table 8 row 1: AlexNet b256, K20, 144 h -> 31% of 3.5T at util(256).
+    "k20": DeviceProfile("NVIDIA K20", 3.5e12, 5 * 2**30, tdp_watts=225,
+                         default_efficiency=0.46,
+                         model_b_half=_GPU_B_HALF),
+    # Figure 3's device: AlexNet throughput peaks at per-GPU batch 512.
+    "m40": DeviceProfile("NVIDIA M40", 7.0e12, 12 * 2**30, tdp_watts=250,
+                         default_efficiency=0.50,
+                         model_b_half=_GPU_B_HALF),
+    # DGX-1 = 8×P100.  AlexNet fit: b512 6h10m & b4096 2h19m (Table 8)
+    # -> eff 0.95, b_half 128.  ResNet-50 fit: b256 21 h (Table 9)
+    # -> eff 0.47, b_half 2 (no speedup 256 -> 8192 on the same box).
+    "p100": DeviceProfile("NVIDIA P100", 10.6e12, 16 * 2**30, tdp_watts=300,
+                          default_efficiency=0.47,
+                          model_efficiency={"alexnet": 0.95, "alexnet_bn": 0.95,
+                                            "resnet50": 0.47},
+                          model_b_half=_GPU_B_HALF),
+    # KNL 7250.  ResNet-50 fit: 512 KNL / b32K / 1 h -> eff 0.285;
+    # AlexNet-BN fit: 512 KNL / b32K / 24 min -> eff 0.155 (FC layers are
+    # memory-bound on KNL).
+    "knl": DeviceProfile("Intel Xeon Phi 7250 (KNL)", 6.0e12, 384 * 2**30, tdp_watts=215,
+                         default_efficiency=0.285,
+                         model_efficiency={"alexnet": 0.155, "alexnet_bn": 0.155,
+                                           "resnet50": 0.285},
+                         default_b_half=4.0),
+    # Skylake 8160.  AlexNet-BN fit: 1024 CPUs / b32K / 11 min -> eff 0.29;
+    # ResNet-50 fit: 1024 CPUs / b32K / 48 min -> eff 0.26.
+    "skylake": DeviceProfile("Intel Xeon Platinum 8160", 4.4e12, 192 * 2**30, tdp_watts=150,
+                             default_efficiency=0.26,
+                             model_efficiency={"alexnet": 0.29, "alexnet_bn": 0.29,
+                                               "resnet50": 0.26},
+                             default_b_half=4.0),
+}
+
+#: Table 11 verbatim, plus the fabrics the paper's clusters actually used.
+NETWORKS: dict[str, NetworkProfile] = {
+    "fdr": NetworkProfile(alpha=0.7e-6, beta=0.2e-9, name="Mellanox 56Gb/s FDR IB"),
+    "qdr": NetworkProfile(alpha=1.2e-6, beta=0.3e-9, name="Intel 40Gb/s QDR IB"),
+    "10gbe": NetworkProfile(alpha=7.2e-6, beta=0.9e-9, name="Intel 10GbE NetEffect NE020"),
+    # Stampede-2's Intel Omni-Path 100 Gb/s fabric
+    "opa": NetworkProfile(alpha=0.9e-6, beta=0.08e-9, name="Intel Omni-Path 100Gb/s"),
+    # intra-DGX-1 NVLink mesh (effective per-GPU bandwidth)
+    "nvlink": NetworkProfile(alpha=1.0e-6, beta=0.033e-9, name="NVLink (DGX-1)"),
+}
+
+
+@dataclass(frozen=True)
+class EnergyEntry:
+    """One row of Table 12."""
+
+    operation: str
+    kind: str  # "computation" | "communication"
+    picojoules: float
+
+
+#: Table 12 verbatim: Horowitz's 45 nm CMOS energy table.
+ENERGY_TABLE_45NM: list[EnergyEntry] = [
+    EnergyEntry("32 bit int add", "computation", 0.1),
+    EnergyEntry("32 bit float add", "computation", 0.9),
+    EnergyEntry("32 bit register access", "communication", 1.0),
+    EnergyEntry("32 bit int multiply", "computation", 3.1),
+    EnergyEntry("32 bit float multiply", "computation", 3.7),
+    EnergyEntry("32 bit SRAM access", "communication", 5.0),
+    EnergyEntry("32 bit DRAM access", "communication", 640.0),
+]
+
+
+def device(name: str) -> DeviceProfile:
+    """Look up a device profile by short name."""
+    if name not in DEVICES:
+        raise KeyError(f"unknown device {name!r}; available: {sorted(DEVICES)}")
+    return DEVICES[name]
+
+
+def network(name: str) -> NetworkProfile:
+    """Look up an interconnect profile by short name."""
+    if name not in NETWORKS:
+        raise KeyError(f"unknown network {name!r}; available: {sorted(NETWORKS)}")
+    return NETWORKS[name]

@@ -1,0 +1,98 @@
+"""Single-device throughput vs per-device batch size — Figure 3.
+
+The paper's observation: "In a certain range, larger batch size will make
+the single GPU's speed higher... because low-level matrix computation
+libraries will be more efficient"; for AlexNet on an M40 the best batch is
+512 and batch 1024 is out of memory.
+
+Model: GEMM efficiency rises with arithmetic intensity, which grows with the
+batch.  We use a saturating utilisation curve
+
+    util(b) = b / (b + b_half)
+
+(b_half = batch at 50 % of saturated utilisation), so
+
+    images/s(b) = sustained_flops · util(b) / (3 · flops_per_image)
+
+and training memory = weights + gradients + momentum (3·|W| words) plus the
+per-example activation footprint (forward activations are all kept for
+backprop), which produces the OOM cliff.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..nn.flops import FWD_BWD_FLOP_FACTOR, ModelCost
+from .hardware import DeviceProfile
+
+__all__ = ["ThroughputPoint", "device_throughput", "throughput_curve", "training_memory_bytes"]
+
+#: default half-saturation batch for the utilisation curve; chosen so that
+#: batch 512 sits at ~94 % utilisation (the paper's AlexNet/M40 optimum)
+DEFAULT_B_HALF = 32.0
+
+#: activation storage per scalar (fp32) plus an equal-size gradient buffer
+ACTIVATION_BYTES_PER_ELEMENT = 2 * 4
+
+
+@dataclass(frozen=True)
+class ThroughputPoint:
+    batch_size: int
+    images_per_second: float
+    utilisation: float
+    memory_bytes: float
+    fits_in_memory: bool
+
+
+def training_memory_bytes(
+    cost: ModelCost, batch_size: int, activation_elements: int
+) -> float:
+    """Device memory for one training step at ``batch_size``.
+
+    3·|W| fp32 words (weights, gradients, momentum) + activations for every
+    example in flight (kept for backward), each with a gradient buffer.
+    """
+    static = 3 * cost.parameters * 4
+    dynamic = batch_size * activation_elements * ACTIVATION_BYTES_PER_ELEMENT
+    return static + dynamic
+
+
+def device_throughput(
+    cost: ModelCost,
+    batch_size: int,
+    dev: DeviceProfile,
+    activation_elements: int,
+    b_half: float = DEFAULT_B_HALF,
+) -> ThroughputPoint:
+    """Predict one (batch, images/s) point of Figure 3."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    util = batch_size / (batch_size + b_half)
+    ips = dev.sustained_flops(cost.name) * util / (
+        FWD_BWD_FLOP_FACTOR * cost.flops_per_image
+    )
+    mem = training_memory_bytes(cost, batch_size, activation_elements)
+    return ThroughputPoint(
+        batch_size=batch_size,
+        images_per_second=ips,
+        utilisation=util,
+        memory_bytes=mem,
+        fits_in_memory=mem <= dev.memory_bytes,
+    )
+
+
+def throughput_curve(
+    cost: ModelCost,
+    dev: DeviceProfile,
+    activation_elements: int,
+    batch_sizes: list[int] | None = None,
+    b_half: float = DEFAULT_B_HALF,
+) -> list[ThroughputPoint]:
+    """The full Figure 3 sweep (default: powers of two, 1 … 1024)."""
+    if batch_sizes is None:
+        batch_sizes = [2**k for k in range(0, 11)]
+    return [
+        device_throughput(cost, b, dev, activation_elements, b_half)
+        for b in batch_sizes
+    ]

@@ -1,0 +1,229 @@
+"""Analytic training-time model — the α-β-γ arithmetic behind Tables 1, 2,
+8 and 9.
+
+The paper's model (Table 2): with epochs E fixed, iterations = E·n/B; each
+iteration costs
+
+    t_iter = t_comp + t_comm(P)
+
+where ``t_comp`` is the per-device forward+backward time on its local batch
+B/P and ``t_comm`` the allreduce of the |W|-byte gradient (log(P)·t for the
+tree algorithm the paper tabulates).  Total time = iterations × t_iter.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..comm.collectives import allreduce_cost, allreduce_message_count
+from ..comm.fabric import NetworkProfile
+from ..nn.flops import FWD_BWD_FLOP_FACTOR, ModelCost
+from .hardware import DeviceProfile
+
+__all__ = ["IterationBreakdown", "TrainingTimeEstimate", "estimate_training_time",
+           "iteration_breakdown", "overlapped_iteration_time", "table2_row",
+           "weak_scaling_efficiency"]
+
+
+@dataclass(frozen=True)
+class IterationBreakdown:
+    """One iteration's simulated cost, split into its α-β-γ terms."""
+
+    compute_seconds: float
+    comm_seconds: float
+    local_batch: float
+    messages_per_iteration: int
+
+    @property
+    def total_seconds(self) -> float:
+        return self.compute_seconds + self.comm_seconds
+
+    @property
+    def comm_fraction(self) -> float:
+        t = self.total_seconds
+        return self.comm_seconds / t if t else 0.0
+
+
+@dataclass(frozen=True)
+class TrainingTimeEstimate:
+    """End-to-end prediction for one (model, cluster, batch) configuration."""
+
+    model: str
+    device: str
+    processors: int
+    global_batch: int
+    epochs: int
+    iterations: int
+    iteration: IterationBreakdown
+
+    @property
+    def total_seconds(self) -> float:
+        return self.iterations * self.iteration.total_seconds
+
+    @property
+    def total_hours(self) -> float:
+        return self.total_seconds / 3600.0
+
+    @property
+    def total_minutes(self) -> float:
+        return self.total_seconds / 60.0
+
+    @property
+    def images_per_second(self) -> float:
+        return self.global_batch / self.iteration.total_seconds
+
+
+def compute_time_per_iteration(
+    cost: ModelCost, local_batch: float, device: DeviceProfile
+) -> float:
+    """Forward+backward seconds for ``local_batch`` examples on one device.
+
+    Includes the device's batch-utilisation curve — the Figure 3 effect that
+    makes small local batches disproportionately slow per image.
+    """
+    if local_batch <= 0:
+        raise ValueError("local_batch must be positive")
+    flops = FWD_BWD_FLOP_FACTOR * cost.flops_per_image * local_batch
+    return flops / device.sustained_flops(cost.name, local_batch=local_batch)
+
+
+def iteration_breakdown(
+    cost: ModelCost,
+    global_batch: int,
+    processors: int,
+    device: DeviceProfile,
+    net: NetworkProfile,
+    algorithm: str = "ring",
+) -> IterationBreakdown:
+    """Split one synchronous-SGD iteration into compute and comm time."""
+    if processors <= 0 or global_batch <= 0:
+        raise ValueError("processors and global_batch must be positive")
+    local = global_batch / processors
+    t_comp = compute_time_per_iteration(cost, local, device)
+    t_comm = allreduce_cost(processors, cost.model_bytes, net, algorithm)
+    return IterationBreakdown(
+        compute_seconds=t_comp,
+        comm_seconds=t_comm,
+        local_batch=local,
+        messages_per_iteration=allreduce_message_count(processors, algorithm),
+    )
+
+
+def estimate_training_time(
+    cost: ModelCost,
+    *,
+    epochs: int,
+    dataset_size: int,
+    global_batch: int,
+    processors: int,
+    device: DeviceProfile,
+    net: NetworkProfile,
+    algorithm: str = "ring",
+) -> TrainingTimeEstimate:
+    """Predict total training time for a full fixed-epoch run."""
+    if epochs <= 0 or dataset_size <= 0:
+        raise ValueError("epochs and dataset_size must be positive")
+    iters = math.ceil(dataset_size / global_batch) * epochs
+    breakdown = iteration_breakdown(cost, global_batch, processors, device, net, algorithm)
+    return TrainingTimeEstimate(
+        model=cost.name,
+        device=device.name,
+        processors=processors,
+        global_batch=global_batch,
+        epochs=epochs,
+        iterations=iters,
+        iteration=breakdown,
+    )
+
+
+def table2_row(
+    batch_size: int,
+    epochs: int = 100,
+    dataset_size: int = 1_280_000,
+    batch_per_machine: int = 512,
+) -> dict:
+    """One symbolic row of Table 2: iterations, GPU count, t_iter structure.
+
+    The paper fixes 512 images per machine and grows machines with the
+    batch; iteration time is t_comp + log₂(P)·t_comm.
+    """
+    if batch_size % batch_per_machine:
+        raise ValueError("Table 2 assumes batch divisible by 512 per machine")
+    gpus = batch_size // batch_per_machine
+    iterations = epochs * dataset_size // batch_size
+    return {
+        "batch_size": batch_size,
+        "epochs": epochs,
+        "iterations": iterations,
+        "gpus": gpus,
+        "log2_p": math.log2(gpus) if gpus >= 1 else 0.0,
+        "iteration_time": f"tcomp + log({gpus})tcomm" if gpus > 1 else "tcomp",
+        "total_time": f"{iterations} x (tcomp + log({gpus})tcomm)"
+        if gpus > 1
+        else f"{iterations} x tcomp",
+    }
+
+
+def overlapped_iteration_time(
+    cost: ModelCost,
+    global_batch: int,
+    processors: int,
+    device: DeviceProfile,
+    net: NetworkProfile,
+    algorithm: str = "ring",
+    overlap_fraction: float = 0.8,
+    buckets: int = 16,
+) -> IterationBreakdown:
+    """Iteration time with communication/computation overlap.
+
+    The paper notes the synchronisation cost "can be partially ameliorated
+    by overlapping communication and computation (Das et al. 2016; Goyal et
+    al. 2017)": production stacks bucket the gradients and start
+    allreducing finished buckets while backprop continues.  Model:
+
+    * a fraction ``overlap_fraction`` of the backward pass can hide
+      communication beneath it (the first bucket only exists after the last
+      layer's gradient; the final bucket can never be hidden);
+    * the gradient is split into ``buckets`` messages, so the latency term
+      is paid per bucket while the bandwidth term is unchanged.
+
+    Exposed time = t_comp + max(0, t_comm_bucketed − overlap_fraction·t_bwd)
+    with t_bwd = (2/3)·t_comp (backward ≈ 2× forward).
+    """
+    if not 0.0 <= overlap_fraction <= 1.0:
+        raise ValueError("overlap_fraction must be in [0, 1]")
+    if buckets <= 0:
+        raise ValueError("buckets must be positive")
+    base = iteration_breakdown(cost, global_batch, processors, device, net, algorithm)
+    bucket_bytes = cost.model_bytes / buckets
+    t_comm = buckets * allreduce_cost(processors, int(bucket_bytes), net, algorithm)
+    t_bwd = base.compute_seconds * (2.0 / 3.0)
+    exposed = max(0.0, t_comm - overlap_fraction * t_bwd)
+    return IterationBreakdown(
+        compute_seconds=base.compute_seconds,
+        comm_seconds=exposed,
+        local_batch=base.local_batch,
+        messages_per_iteration=buckets * allreduce_message_count(processors, algorithm),
+    )
+
+
+def weak_scaling_efficiency(
+    cost: ModelCost,
+    processors: int,
+    batch_per_processor: int,
+    device: DeviceProfile,
+    net: NetworkProfile,
+    algorithm: str = "ring",
+) -> float:
+    """Throughput per device at P processors / throughput at P=1.
+
+    This is where Table 6's scaling ratio bites: AlexNet (ratio ~25) loses
+    efficiency to the |W|-sized allreduce far sooner than ResNet-50
+    (ratio ~300).
+    """
+    single = iteration_breakdown(cost, batch_per_processor, 1, device, net, algorithm)
+    multi = iteration_breakdown(
+        cost, batch_per_processor * processors, processors, device, net, algorithm
+    )
+    return single.total_seconds / multi.total_seconds

@@ -1,0 +1,14 @@
+"""``repro.util`` — checkpointing, profiling, and ascii plotting helpers."""
+
+from .checkpoint import load_checkpoint, save_checkpoint
+from .plotting import ascii_plot, sparkline
+from .timing import LayerProfiler, Timer
+
+__all__ = [
+    "save_checkpoint",
+    "load_checkpoint",
+    "Timer",
+    "LayerProfiler",
+    "ascii_plot",
+    "sparkline",
+]

@@ -1,0 +1,76 @@
+"""Checkpointing: save/restore model + optimiser state as a single ``.npz``.
+
+The format is flat and numpy-native so checkpoints written by the serial
+trainer restore into cluster replicas and vice versa:
+
+* ``param/<name>``      — parameter values,
+* ``opt/<i>/<key>``     — per-parameter optimiser state arrays,
+* ``meta/…``            — step counter and scalar state entries.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+
+import numpy as np
+
+from ..core.optimizer import Optimizer
+from ..nn.layers.base import Module
+
+__all__ = ["save_checkpoint", "load_checkpoint"]
+
+
+def save_checkpoint(
+    path: str | os.PathLike,
+    model: Module,
+    optimizer: Optimizer | None = None,
+    iteration: int = 0,
+) -> None:
+    """Write model (and optionally optimiser) state to ``path`` (.npz)."""
+    arrays: dict[str, np.ndarray] = {}
+    for name, value in model.state_dict().items():
+        if not name:
+            raise ValueError("all parameters must be named (call assign_names)")
+        arrays[f"param/{name}"] = value
+    arrays["meta/iteration"] = np.array(iteration, dtype=np.int64)
+    if optimizer is not None:
+        snap = optimizer.state_dict()
+        arrays["meta/step_count"] = np.array(snap["step_count"], dtype=np.int64)
+        for i, st in enumerate(snap["state"]):
+            for key, val in st.items():
+                arrays[f"opt/{i}/{key}"] = np.asarray(val)
+    np.savez_compressed(os.fspath(path), **arrays)
+
+
+def load_checkpoint(
+    path: str | os.PathLike,
+    model: Module,
+    optimizer: Optimizer | None = None,
+) -> int:
+    """Restore state saved by :func:`save_checkpoint`; returns the saved
+    iteration counter.  Parameter names/shapes must match the model."""
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        params = {
+            key[len("param/"):]: data[key]
+            for key in data.files
+            if key.startswith("param/")
+        }
+        model.load_state_dict(params)
+        iteration = int(data["meta/iteration"])
+        if optimizer is not None:
+            if "meta/step_count" not in data.files:
+                raise KeyError("checkpoint has no optimiser state")
+            state: list[dict] = [dict() for _ in optimizer.params]
+            for key in data.files:
+                if not key.startswith("opt/"):
+                    continue
+                _, idx, name = key.split("/", 2)
+                arr = data[key]
+                state[int(idx)][name] = (
+                    int(arr) if arr.ndim == 0 and name == "t" else arr.copy()
+                )
+            optimizer.load_state_dict(
+                {"step_count": int(data["meta/step_count"]), "state": state}
+            )
+    return iteration

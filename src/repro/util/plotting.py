@@ -1,0 +1,82 @@
+"""Terminal plotting: ascii charts for the figure experiments.
+
+No matplotlib in this environment, so the figure drivers render their series
+as compact unicode charts — enough to eyeball the crossovers the paper's
+figures show.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["sparkline", "ascii_plot"]
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line bar chart: ▁▂▃▅▇ …; NaNs render as spaces."""
+    vals = [float(v) for v in values]
+    finite = [v for v in vals if math.isfinite(v)]
+    if not finite:
+        return " " * len(vals)
+    lo, hi = min(finite), max(finite)
+    span = hi - lo or 1.0
+    out = []
+    for v in vals:
+        if not math.isfinite(v):
+            out.append(" ")
+        else:
+            idx = int((v - lo) / span * (len(_BLOCKS) - 1))
+            out.append(_BLOCKS[idx])
+    return "".join(out)
+
+
+def ascii_plot(
+    series: dict[str, Sequence[tuple[float, float]]],
+    width: int = 60,
+    height: int = 15,
+    logx: bool = False,
+) -> str:
+    """Multi-series scatter/line chart in a character grid.
+
+    ``series`` maps label → [(x, y), …].  Each series gets the first letter
+    of its label as the marker; overlapping points show the later series.
+    """
+    points = [(x, y) for pts in series.values() for x, y in pts
+              if math.isfinite(x) and math.isfinite(y)]
+    if not points:
+        return "(no data)"
+    if logx and any(x <= 0 for x, _ in points):
+        raise ValueError("logx requires strictly positive x values")
+    xs, ys = zip(*points)
+
+    def tx(x: float) -> float:
+        return math.log10(x) if logx else x
+
+    xlo, xhi = tx(min(xs)), tx(max(xs))
+    ylo, yhi = min(ys), max(ys)
+    xspan = (xhi - xlo) or 1.0
+    yspan = (yhi - ylo) or 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+    for label, pts in series.items():
+        marker = label[0]
+        for x, y in pts:
+            if not (math.isfinite(x) and math.isfinite(y)):
+                continue
+            col = int((tx(x) - xlo) / xspan * (width - 1))
+            row = height - 1 - int((y - ylo) / yspan * (height - 1))
+            grid[row][col] = marker
+
+    lines = [f"{yhi:8.3g} ┤" + "".join(grid[0])]
+    for row in grid[1:-1]:
+        lines.append(" " * 8 + " │" + "".join(row))
+    lines.append(f"{ylo:8.3g} ┤" + "".join(grid[-1]))
+    lines.append(" " * 8 + " └" + "─" * width)
+    xlabel = f"{min(xs):g} … {max(xs):g}" + ("  (log x)" if logx else "")
+    lines.append(" " * 10 + xlabel)
+    legend = "   ".join(f"{label[0]} = {label}" for label in series)
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)

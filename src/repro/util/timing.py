@@ -1,0 +1,120 @@
+"""Profiling helpers, following the optimisation-workflow guidance:
+measure first, then optimise.
+
+:class:`Timer` is a context-manager stopwatch with accumulation;
+:class:`LayerProfiler` wraps a model and records per-layer forward/backward
+wall time, producing the table that tells you which layer to vectorise next.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+
+from ..nn.layers.base import Module, Sequential
+
+__all__ = ["Timer", "LayerProfiler"]
+
+
+class Timer:
+    """Accumulating stopwatch.
+
+    >>> t = Timer()
+    >>> with t:
+    ...     work()
+    >>> t.total, t.count, t.mean
+    """
+
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.count = 0
+        self._start: float | None = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        assert self._start is not None
+        self.total += time.perf_counter() - self._start
+        self.count += 1
+        self._start = None
+
+    @property
+    def mean(self) -> float:
+        """Mean seconds per timed region."""
+        return self.total / self.count if self.count else 0.0
+
+    def reset(self) -> None:
+        """Zero the accumulated time and count."""
+        self.total = 0.0
+        self.count = 0
+
+
+class LayerProfiler:
+    """Per-layer forward/backward timing for a :class:`Sequential` model.
+
+    Wraps each layer's ``forward``/``backward`` in place; call
+    :meth:`report` after running some steps and :meth:`unwrap` to restore.
+    """
+
+    def __init__(self, model: Sequential):
+        if not isinstance(model, Sequential):
+            raise TypeError("LayerProfiler expects a Sequential model")
+        self.model = model
+        self.forward_time: dict[str, Timer] = defaultdict(Timer)
+        self.backward_time: dict[str, Timer] = defaultdict(Timer)
+        self._originals: list[tuple[Module, object, object]] = []
+        self._wrap()
+
+    def _label(self, idx: int, layer: Module) -> str:
+        return f"{idx:02d}:{layer.name or type(layer).__name__}"
+
+    def _wrap(self) -> None:
+        for idx, layer in enumerate(self.model.layers):
+            label = self._label(idx, layer)
+            fwd, bwd = layer.forward, layer.backward
+            self._originals.append((layer, fwd, bwd))
+
+            def timed_fwd(x, _f=fwd, _l=label):
+                with self.forward_time[_l]:
+                    return _f(x)
+
+            def timed_bwd(g, _b=bwd, _l=label):
+                with self.backward_time[_l]:
+                    return _b(g)
+
+            layer.forward = timed_fwd
+            layer.backward = timed_bwd
+
+    def unwrap(self) -> None:
+        """Restore the original methods."""
+        for layer, fwd, bwd in self._originals:
+            layer.forward = fwd
+            layer.backward = bwd
+        self._originals.clear()
+
+    def report(self) -> str:
+        """Per-layer table sorted by total time, slowest first."""
+        rows = []
+        for label in self.forward_time:
+            f = self.forward_time[label]
+            b = self.backward_time.get(label, Timer())
+            rows.append((label, f.total, b.total, f.total + b.total))
+        rows.sort(key=lambda r: -r[3])
+        lines = [f"{'layer':<28}{'fwd_s':>10}{'bwd_s':>10}{'total_s':>10}"]
+        for label, ft, bt, tot in rows:
+            lines.append(f"{label:<28}{ft:>10.4f}{bt:>10.4f}{tot:>10.4f}")
+        total = sum(r[3] for r in rows)
+        lines.append(f"{'TOTAL':<28}{'':>10}{'':>10}{total:>10.4f}")
+        return "\n".join(lines)
+
+    def hotspot(self) -> str | None:
+        """Label of the most expensive layer so far."""
+        if not self.forward_time:
+            return None
+        return max(
+            self.forward_time,
+            key=lambda l: self.forward_time[l].total
+            + self.backward_time.get(l, Timer()).total,
+        )

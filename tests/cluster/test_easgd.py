@@ -1,0 +1,86 @@
+"""Elastic Averaging SGD tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import EASGDConfig, EASGDResult, train_easgd
+from repro.comm import NetworkProfile
+from repro.core import SGD, ConstantLR
+from repro.data import gaussian_blobs
+from repro.nn.models import mlp
+
+_X, _Y = gaussian_blobs(180, num_classes=3, dim=6, seed=71)
+_XT, _YT = _X[:60], _Y[:60]
+
+
+def builder():
+    return mlp(6, [10], 3, seed=9)
+
+
+def opt_builder(params):
+    return SGD(params, momentum=0.9, weight_decay=0.0)
+
+
+def run(world=3, epochs=6, alpha=0.1, tau=4, lr=0.05, seed=0, profile=None):
+    config = EASGDConfig(world=world, epochs=epochs, batch_size=16,
+                         alpha=alpha, tau=tau, shuffle_seed=seed,
+                         profile=profile)
+    return train_easgd(builder, opt_builder, ConstantLR(lr),
+                       _X, _Y, _XT, _YT, config)
+
+
+def test_center_learns():
+    res = run()
+    assert res.center_accuracy > 0.8
+
+
+def test_workers_also_learn():
+    res = run()
+    assert all(a > 0.7 for a in res.worker_accuracies)
+
+
+def test_rounds_counted():
+    res = run()
+    assert res.rounds > 0
+
+
+def test_deterministic():
+    a, b = run(seed=4), run(seed=4)
+    assert a.center_accuracy == b.center_accuracy
+    assert a.consensus_distance == pytest.approx(b.consensus_distance)
+
+
+def test_stronger_elasticity_tightens_consensus():
+    """Larger alpha pulls workers closer to the center."""
+    loose = run(alpha=0.02, seed=2)
+    tight = run(alpha=0.3, seed=2)
+    assert tight.consensus_distance < loose.consensus_distance
+
+
+def test_larger_tau_fewer_messages():
+    """Communication period tau is EASGD's bandwidth knob."""
+    frequent = run(tau=1, seed=3)
+    rare = run(tau=8, seed=3)
+    assert rare.messages < frequent.messages
+
+
+def test_simulated_time_with_profile():
+    res = run(profile=NetworkProfile(alpha=1e-4, beta=1e-9))
+    assert res.simulated_seconds > 0
+
+
+def test_uneven_shards_supported():
+    """180 examples over 4 workers: shard sizes differ, protocol survives."""
+    res = run(world=5, epochs=2)
+    assert len(res.worker_accuracies) == 4
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        EASGDConfig(world=1, epochs=1, batch_size=8)
+    with pytest.raises(ValueError):
+        EASGDConfig(world=3, epochs=1, batch_size=8, alpha=0.0)
+    with pytest.raises(ValueError):
+        EASGDConfig(world=12, epochs=1, batch_size=8, alpha=0.1)  # alpha*P >= 1
+    with pytest.raises(ValueError):
+        EASGDConfig(world=3, epochs=1, batch_size=8, tau=0)

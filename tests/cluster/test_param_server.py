@@ -1,0 +1,106 @@
+"""Asynchronous parameter-server baseline tests."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ParamServerConfig, ParamServerResult, train_param_server
+from repro.comm import NetworkProfile
+from repro.core import SGD, ConstantLR
+from repro.nn.models import mlp
+
+_RNG = np.random.default_rng(21)
+_CENTRES = _RNG.normal(size=(3, 6)) * 3
+_Y = _RNG.integers(0, 3, size=90)
+_X = _CENTRES[_Y] + _RNG.normal(size=(90, 6)) * 0.5
+
+
+def builder():
+    return mlp(6, [8], 3, seed=2)
+
+
+def sgd_builder(params):
+    return SGD(params, momentum=0.9, weight_decay=0.0)
+
+
+def run(workers=2, updates=60, lr=0.05, jitter=0.2, seed=0, **kw):
+    config = ParamServerConfig(workers=workers, total_updates=updates,
+                               batch_size=16, compute_time=1.0,
+                               compute_jitter=jitter, seed=seed, **kw)
+    return train_param_server(builder, sgd_builder, ConstantLR(lr),
+                              _X, _Y, _X[:30], _Y[:30], config)
+
+
+def test_applies_requested_updates():
+    res = run(updates=40)
+    assert res.updates_applied == 40
+
+
+def test_learns_toy_problem():
+    res = run(workers=2, updates=120)
+    assert res.final_test_accuracy > 0.7
+
+
+def test_single_worker_has_zero_staleness():
+    """With one worker the scheme degenerates to serial SGD."""
+    res = run(workers=1, updates=30)
+    assert res.max_staleness == 0
+
+
+def test_staleness_grows_with_workers():
+    """The async pathology: more workers -> staler gradients (the reason the
+    paper chooses synchronous SGD at scale)."""
+    s2 = run(workers=2, updates=100).mean_staleness
+    s8 = run(workers=8, updates=100).mean_staleness
+    assert s8 > s2
+
+
+def test_mean_staleness_roughly_workers_minus_one():
+    """FCFS round-robin: each gradient is ~(P-1) updates stale."""
+    res = run(workers=4, updates=200, jitter=0.05)
+    assert 2.0 < res.mean_staleness < 4.5
+
+
+def test_deterministic_given_seed():
+    a = run(seed=5, updates=50)
+    b = run(seed=5, updates=50)
+    assert a.staleness == b.staleness
+    assert a.final_test_accuracy == b.final_test_accuracy
+
+
+def test_simulated_time_advances():
+    res = run(updates=50)
+    assert res.simulated_seconds > 0
+
+
+def test_network_profile_adds_transfer_time():
+    fast = run(updates=20, seed=1).simulated_seconds
+    slow = run(updates=20, seed=1,
+               profile=NetworkProfile(alpha=0.5, beta=0.0)).simulated_seconds
+    assert slow > fast
+
+
+@pytest.mark.filterwarnings("ignore::RuntimeWarning")
+def test_divergence_detected_with_huge_lr():
+    res = run(lr=1e6, updates=100)
+    assert res.diverged
+    assert res.final_test_accuracy == 0.0
+
+
+def test_accuracy_curve_recorded():
+    res = run(updates=40, eval_every=10)
+    assert len(res.accuracy_curve) == 4
+    assert all(t >= 0 for _, t, _ in res.accuracy_curve)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ParamServerConfig(workers=0, total_updates=10, batch_size=4)
+    with pytest.raises(ValueError):
+        ParamServerConfig(workers=2, total_updates=10, batch_size=4,
+                          compute_jitter=1.5)
+
+
+def test_empty_result_properties():
+    res = ParamServerResult()
+    assert res.mean_staleness == 0.0
+    assert res.max_staleness == 0

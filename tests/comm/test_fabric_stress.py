@@ -1,0 +1,88 @@
+"""Fabric stress and concurrency tests."""
+
+import numpy as np
+import pytest
+
+from repro.comm import NetworkProfile, SimulatedFabric, run_cluster
+
+
+def test_many_small_messages_all_delivered():
+    """FIFO integrity under a burst of 500 messages on one channel."""
+    f = SimulatedFabric(2)
+    for i in range(500):
+        f.send(0, 1, np.array([float(i)]))
+    for i in range(500):
+        assert f.recv(1, 0)[0] == float(i)
+
+
+def test_all_to_all_burst():
+    """Every rank sends to every other rank concurrently (thread stress)."""
+
+    def worker(comm):
+        for dst in range(comm.size):
+            if dst != comm.rank:
+                comm.send(dst, np.array([float(comm.rank)]), tag=comm.rank)
+        got = {}
+        for src in range(comm.size):
+            if src != comm.rank:
+                got[src] = comm.recv(src, tag=src)[0]
+        return got
+
+    results, fabric = run_cluster(8, worker)
+    for rank, got in enumerate(results):
+        assert got == {s: float(s) for s in range(8) if s != rank}
+    assert fabric.stats.messages == 8 * 7
+
+
+def test_interleaved_collectives_many_rounds():
+    """50 back-to-back allreduces keep tag isolation and exact values."""
+
+    def worker(comm):
+        out = []
+        for i in range(50):
+            algorithm = ["tree", "ring"][i % 2]
+            total = comm.allreduce(np.array([float(i + comm.rank)]),
+                                   algorithm=algorithm)
+            out.append(total[0])
+        return out
+
+    results, _ = run_cluster(4, worker)
+    for i in range(50):
+        expected = sum(i + r for r in range(4))
+        assert all(res[i] == expected for res in results)
+
+
+def test_clock_monotone_under_concurrency():
+    """Logical clocks never run backwards regardless of thread timing."""
+    prof = NetworkProfile(alpha=1e-5, beta=1e-9)
+
+    def worker(comm):
+        stamps = [comm.time]
+        for _ in range(20):
+            comm.allreduce(np.zeros(100))
+            stamps.append(comm.time)
+        return stamps
+
+    results, _ = run_cluster(4, worker, profile=prof)
+    for stamps in results:
+        assert all(b >= a for a, b in zip(stamps, stamps[1:]))
+
+
+def test_large_payload_roundtrip():
+    """A gradient-sized (8 MB) payload survives unchanged."""
+    f = SimulatedFabric(2)
+    payload = np.random.default_rng(0).normal(size=10**6)
+    f.send(0, 1, payload)
+    out = f.recv(1, 0)
+    assert np.array_equal(out, payload)
+    assert f.stats.bytes == payload.nbytes
+
+
+def test_mixed_payload_types_on_one_channel():
+    f = SimulatedFabric(2)
+    f.send(0, 1, {"config": 1})
+    f.send(0, 1, np.arange(3.0))
+    f.send(0, 1, "token")
+    assert f.recv(1, 0) == {"config": 1}
+    assert np.array_equal(f.recv(1, 0), np.arange(3.0))
+    assert f.recv(1, 0) == "token"

@@ -1,0 +1,101 @@
+"""Nonblocking send and the communication/computation overlap model."""
+
+import numpy as np
+import pytest
+
+from repro.comm import NetworkProfile, SimulatedFabric, run_cluster
+from repro.nn.models import paper_model_cost
+from repro.perfmodel import (
+    device,
+    iteration_breakdown,
+    network,
+    overlapped_iteration_time,
+)
+
+
+class TestIsend:
+    def test_sender_charged_alpha_only(self):
+        prof = NetworkProfile(alpha=1.0, beta=1.0)
+        f = SimulatedFabric(2, prof)
+        f.isend(0, 1, np.zeros(100))  # 800 bytes
+        assert f.time_of(0) == pytest.approx(1.0)  # alpha, not alpha+800*beta
+
+    def test_receiver_still_waits_full_transfer(self):
+        prof = NetworkProfile(alpha=1.0, beta=1.0)
+        f = SimulatedFabric(2, prof)
+        f.isend(0, 1, np.zeros(100))
+        f.recv(1, 0)
+        assert f.time_of(1) == pytest.approx(1.0 + 800.0)
+
+    def test_overlap_hides_transfer_under_compute(self):
+        """The overlap pattern: isend, compute, partner receives — the
+        receiver's arrival time is bounded by transfer, not compute+transfer."""
+        prof = NetworkProfile(alpha=0.0, beta=1e-3)
+
+        def worker(comm):
+            if comm.rank == 0:
+                comm.isend(1, np.zeros(1000))  # 8 s transfer
+                comm.compute(8.0)  # overlapped compute
+                return comm.time
+            comm.recv(0)
+            return comm.time
+
+        results, _ = run_cluster(2, worker, profile=prof)
+        # sender: max(compute) = 8; receiver: transfer completes at 8
+        assert results[0] == pytest.approx(8.0)
+        assert results[1] == pytest.approx(8.0)
+        # with blocking send the receiver would have been at 16
+
+    def test_values_identical_to_send(self):
+        f = SimulatedFabric(2)
+        f.isend(0, 1, np.arange(5.0), tag=3)
+        assert np.array_equal(f.recv(1, 0, tag=3), np.arange(5.0))
+
+    def test_self_isend_rejected(self):
+        with pytest.raises(ValueError):
+            SimulatedFabric(2).isend(0, 0, np.zeros(1))
+
+
+class TestOverlapModel:
+    def setup_method(self):
+        self.cost = paper_model_cost("alexnet")
+        self.dev = device("p100")
+        self.net = network("10gbe")  # slow fabric: comm matters
+
+    def test_overlap_reduces_exposed_comm(self):
+        plain = iteration_breakdown(self.cost, 4096, 64, self.dev, self.net)
+        overlapped = overlapped_iteration_time(self.cost, 4096, 64, self.dev,
+                                               self.net)
+        assert overlapped.comm_seconds < plain.comm_seconds
+        assert overlapped.total_seconds < plain.total_seconds
+
+    def test_full_overlap_can_hide_everything(self):
+        """On a fast fabric with heavy compute, exposed comm goes to ~0."""
+        fast = network("nvlink")
+        overlapped = overlapped_iteration_time(
+            paper_model_cost("resnet50"), 256, 8, device("p100"), fast,
+            overlap_fraction=1.0)
+        assert overlapped.comm_seconds == pytest.approx(0.0, abs=1e-6)
+
+    def test_zero_overlap_fraction_still_buckets(self):
+        plain = iteration_breakdown(self.cost, 4096, 64, self.dev, self.net,
+                                    algorithm="ring")
+        none = overlapped_iteration_time(self.cost, 4096, 64, self.dev,
+                                         self.net, algorithm="ring",
+                                         overlap_fraction=0.0, buckets=1)
+        assert none.comm_seconds == pytest.approx(plain.comm_seconds, rel=0.01)
+
+    def test_more_buckets_more_latency_messages(self):
+        a = overlapped_iteration_time(self.cost, 4096, 64, self.dev, self.net,
+                                      buckets=4)
+        b = overlapped_iteration_time(self.cost, 4096, 64, self.dev, self.net,
+                                      buckets=32)
+        assert b.messages_per_iteration > a.messages_per_iteration
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            overlapped_iteration_time(self.cost, 64, 4, self.dev, self.net,
+                                      overlap_fraction=1.5)
+        with pytest.raises(ValueError):
+            overlapped_iteration_time(self.cost, 64, 4, self.dev, self.net,
+                                      buckets=0)

@@ -1,0 +1,137 @@
+"""Adam and LAMB (the extension optimisers) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import Adam, LAMB
+from repro.nn import Parameter
+
+
+def param(values, wd=1.0, name="w"):
+    return Parameter(np.asarray(values, dtype=float), name=name, weight_decay=wd)
+
+
+class TestAdam:
+    def test_first_step_is_signed_lr(self):
+        """With bias correction, the first Adam step is ≈ lr·sign(g)."""
+        p = param([1.0, -1.0])
+        p.grad[:] = [0.3, -0.7]
+        Adam([p], weight_decay=0.0).step(lr=0.01)
+        assert np.allclose(p.data, [1.0 - 0.01, -1.0 + 0.01], atol=1e-6)
+
+    def test_adapts_to_gradient_scale(self):
+        """Coordinates with persistently large gradients get the same step
+        magnitude as small ones — per-coordinate normalisation."""
+        p = param([0.0, 0.0])
+        opt = Adam([p], weight_decay=0.0)
+        for _ in range(50):
+            p.grad[:] = [100.0, 0.01]
+            opt.step(lr=0.001)
+        assert abs(abs(p.data[0]) - abs(p.data[1])) < 1e-3
+
+    def test_decoupled_weight_decay(self):
+        p = param([2.0])
+        p.grad[:] = [0.0]
+        Adam([p], weight_decay=0.5, decoupled=True).step(lr=0.1)
+        # pure decay: w -= lr * wd * w
+        assert np.allclose(p.data, [2.0 - 0.1 * 0.5 * 2.0])
+
+    def test_l2_form_differs_from_decoupled(self):
+        def run(decoupled):
+            p = param([2.0])
+            opt = Adam([p], weight_decay=0.5, decoupled=decoupled)
+            for _ in range(3):
+                p.grad[:] = [1.0]
+                opt.step(lr=0.1)
+            return p.data.copy()
+
+        assert not np.allclose(run(True), run(False))
+
+    def test_zero_decay_on_biases(self):
+        b = param([1.0], wd=0.0)
+        b.grad[:] = [0.0]
+        Adam([b], weight_decay=0.5).step(lr=0.1)
+        assert np.allclose(b.data, [1.0])
+
+    def test_validation(self):
+        p = param([1.0])
+        with pytest.raises(ValueError):
+            Adam([p], beta1=1.0)
+        with pytest.raises(ValueError):
+            Adam([p], eps=0.0)
+        with pytest.raises(ValueError):
+            Adam([p], weight_decay=-1)
+
+    def test_state_dict_roundtrip(self):
+        p = param([1.0])
+        opt = Adam([p], weight_decay=0.0)
+        p.grad[:] = [1.0]
+        opt.step(lr=0.01)
+        snap = opt.state_dict()
+
+        q = param(p.data.copy())
+        opt2 = Adam([q], weight_decay=0.0)
+        opt2.load_state_dict(snap)
+        p.grad[:] = [0.5]
+        q.grad[:] = [0.5]
+        opt.step(lr=0.01)
+        opt2.step(lr=0.01)
+        assert np.allclose(p.data, q.data)
+
+
+class TestLAMB:
+    def test_trust_ratio_scales_update(self):
+        """A layer with large ‖w‖ takes a proportionally larger step."""
+        big = param([30.0, 40.0], name="big")  # ||w|| = 50
+        small = param([0.3, 0.4], name="small")  # ||w|| = 0.5
+        opt = LAMB([big, small], weight_decay=0.0, clip_ratio=1e9)
+        big.grad[:] = [1.0, 1.0]
+        small.grad[:] = [1.0, 1.0]
+        b0, s0 = big.data.copy(), small.data.copy()
+        opt.step(lr=0.1)
+        big_step = np.linalg.norm(big.data - b0)
+        small_step = np.linalg.norm(small.data - s0)
+        assert big_step / small_step == pytest.approx(50 / 0.5, rel=0.01)
+
+    def test_clip_ratio_bounds_step(self):
+        p = param([1000.0, 0.0])
+        p.grad[:] = [1e-9, 0.0]
+        opt = LAMB([p], weight_decay=0.0, clip_ratio=5.0)
+        before = p.data.copy()
+        opt.step(lr=0.1)
+        # ratio capped at 5: step norm <= lr * 5 * ||direction|| (~1)
+        assert np.linalg.norm(before - p.data) <= 0.1 * 5.0 * 1.5
+
+    def test_excluded_params_take_plain_adam_step(self):
+        bias = param([1.0], wd=0.0)
+        ref = param([1.0], wd=0.0)
+        lamb = LAMB([bias], weight_decay=0.01)
+        adam = Adam([ref], weight_decay=0.01, eps=1e-6)
+        for _ in range(3):
+            bias.grad[:] = [0.3]
+            ref.grad[:] = [0.3]
+            lamb.step(lr=0.01)
+            adam.step(lr=0.01)
+        assert np.allclose(bias.data, ref.data)
+
+    def test_zero_weight_safe(self):
+        p = param([0.0, 0.0])
+        p.grad[:] = [1.0, 1.0]
+        LAMB([p], weight_decay=0.0).step(lr=0.1)
+        assert np.all(np.isfinite(p.data))
+
+    def test_invalid_clip(self):
+        with pytest.raises(ValueError):
+            LAMB([param([1.0])], clip_ratio=0.0)
+
+    def test_stable_at_huge_lr_like_lars(self):
+        """LAMB inherits LARS's large-LR stability on stiff quadratics."""
+        rng = np.random.default_rng(0)
+        p1 = Parameter(rng.normal(size=8) * 10, name="l1")
+        p2 = Parameter(rng.normal(size=8) * 0.01, name="l2")
+        opt = LAMB([p1, p2], weight_decay=0.0)
+        for _ in range(50):
+            p1.grad[:] = 0.01 * p1.data
+            p2.grad[:] = 100.0 * p2.data
+            opt.step(lr=0.5)
+        assert np.isfinite(p1.data).all() and np.isfinite(p2.data).all()

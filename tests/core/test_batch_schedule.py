@@ -1,0 +1,100 @@
+"""Batch-size schedules and the grow-batch-instead-of-decay-LR training."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    ConstantBatch,
+    ConstantLR,
+    SGD,
+    SteppedBatchGrowth,
+    Trainer,
+)
+from repro.data import gaussian_blobs
+from repro.nn.models import mlp
+
+_X, _Y = gaussian_blobs(192, num_classes=3, dim=6, seed=81)
+
+
+class TestSchedules:
+    def test_constant(self):
+        assert ConstantBatch(64)(0) == 64
+        assert ConstantBatch(64)(100) == 64
+
+    def test_constant_invalid(self):
+        with pytest.raises(ValueError):
+            ConstantBatch(0)
+
+    def test_stepped_growth(self):
+        s = SteppedBatchGrowth(64, milestones=[30, 60, 80], factor=10)
+        assert s(0) == 64
+        assert s(30) == 640
+        assert s(60) == 6400
+        assert s(80) == 64000
+
+    def test_cap(self):
+        s = SteppedBatchGrowth(64, milestones=[1, 2], factor=10, max_batch=1000)
+        assert s(2) == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SteppedBatchGrowth(0, [1])
+        with pytest.raises(ValueError):
+            SteppedBatchGrowth(8, [1], factor=1.0)
+
+    def test_invalid_runtime_batch_flagged(self):
+        class Bad(ConstantBatch):
+            def batch_at(self, epoch):
+                return -1
+
+        with pytest.raises(ValueError):
+            Bad(8)(0)
+
+
+class TestGrowBatchTraining:
+    def make_trainer(self, lr_schedule, seed=5):
+        model = mlp(6, [10], 3, seed=seed)
+        return Trainer(model, SGD(model.parameters(), momentum=0.9,
+                                  weight_decay=0.0), lr_schedule,
+                       shuffle_seed=seed), model
+
+    def test_constant_schedule_equals_plain_fit(self):
+        t1, m1 = self.make_trainer(ConstantLR(0.05))
+        r1 = t1.fit(_X, _Y, _X[:48], _Y[:48], epochs=3, batch_size=32)
+        t2, m2 = self.make_trainer(ConstantLR(0.05))
+        r2 = t2.fit_with_batch_schedule(_X, _Y, _X[:48], _Y[:48], epochs=3,
+                                        batch_schedule=ConstantBatch(32))
+        for k, v in m1.state_dict().items():
+            assert np.array_equal(m2.state_dict()[k], v)
+        assert [h.train_loss for h in r1.history] == [h.train_loss for h in r2.history]
+
+    def test_iterations_shrink_as_batch_grows(self):
+        t, _ = self.make_trainer(ConstantLR(0.05))
+        sched = SteppedBatchGrowth(16, milestones=[2, 4], factor=2)
+        res = t.fit_with_batch_schedule(_X, _Y, _X[:48], _Y[:48], epochs=6,
+                                        batch_schedule=sched)
+        iters = [h.iterations for h in res.history]
+        assert iters == [12, 12, 6, 6, 3, 3]
+
+    def test_grow_batch_matches_decayed_lr_quality(self):
+        """Smith et al.'s claim in miniature: constant LR + growing batch
+        trains as well as the standard decayed-LR fixed-batch recipe."""
+        from repro.core import StepDecay
+
+        # A: fixed batch 16, LR 0.1 -> 0.05 -> 0.025 at epochs 2/4
+        tA, _ = self.make_trainer(StepDecay(0.1, milestones=[24, 36], gamma=0.5))
+        rA = tA.fit(_X, _Y, _X[:48], _Y[:48], epochs=6, batch_size=16)
+        # B: constant LR 0.1, batch 16 -> 32 -> 64 at the same epochs
+        tB, _ = self.make_trainer(ConstantLR(0.1))
+        rB = tB.fit_with_batch_schedule(
+            _X, _Y, _X[:48], _Y[:48], epochs=6,
+            batch_schedule=SteppedBatchGrowth(16, milestones=[2, 4], factor=2),
+        )
+        assert rB.final_test_accuracy > rA.final_test_accuracy - 0.1
+
+    def test_schedule_capped_by_dataset(self):
+        t, _ = self.make_trainer(ConstantLR(0.05))
+        sched = SteppedBatchGrowth(64, milestones=[0], factor=100)
+        res = t.fit_with_batch_schedule(_X, _Y, _X[:48], _Y[:48], epochs=1,
+                                        batch_schedule=sched)
+        assert res.history[0].iterations == 1  # whole dataset in one batch

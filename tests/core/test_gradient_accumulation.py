@@ -1,0 +1,109 @@
+"""Gradient accumulation (micro-batching) tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import LARS, SGD, ConstantLR, Trainer
+from repro.nn.models import mlp
+
+
+def data(n=48, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 6))
+    y = rng.integers(0, 3, size=n)
+    return x, y
+
+
+def step_with_chunks(chunk, opt_cls=SGD, seed=1, steps=3, **kw):
+    model = mlp(6, [8], 3, seed=seed)
+    trainer = Trainer(model, opt_cls(model.parameters(), **kw), ConstantLR(0.1),
+                      shuffle_seed=0)
+    x, y = data()
+    for _ in range(steps):
+        trainer.train_step(x, y, micro_batch_size=chunk)
+    return model.state_dict()
+
+
+def test_micro_batching_matches_full_batch():
+    """Accumulated micro-batches == one full-batch step, exactly."""
+    full = step_with_chunks(None)
+    chunked = step_with_chunks(16)
+    for k in full:
+        assert np.allclose(full[k], chunked[k], atol=1e-12)
+
+
+def test_uneven_chunks_match():
+    """48 examples in chunks of 20 (20+20+8): weighting handles raggedness."""
+    full = step_with_chunks(None)
+    ragged = step_with_chunks(20)
+    for k in full:
+        assert np.allclose(full[k], ragged[k], atol=1e-12)
+
+
+def test_lars_with_accumulation():
+    """LARS sees the summed (full-batch) gradient, so trust ratios match."""
+    full = step_with_chunks(None, opt_cls=LARS, trust_coefficient=0.02,
+                            weight_decay=0.0005)
+    chunked = step_with_chunks(8, opt_cls=LARS, trust_coefficient=0.02,
+                               weight_decay=0.0005)
+    for k in full:
+        assert np.allclose(full[k], chunked[k], atol=1e-12)
+
+
+def test_chunk_of_one():
+    full = step_with_chunks(None, steps=1)
+    singles = step_with_chunks(1, steps=1)
+    for k in full:
+        assert np.allclose(full[k], singles[k], atol=1e-10)
+
+
+def test_loss_and_accuracy_are_batch_means():
+    model = mlp(6, [8], 3, seed=2)
+    trainer = Trainer(model, SGD(model.parameters()), ConstantLR(0.0))
+    x, y = data()
+    l_full, a_full = trainer.train_step(x, y)
+    model2 = mlp(6, [8], 3, seed=2)
+    trainer2 = Trainer(model2, SGD(model2.parameters()), ConstantLR(0.0))
+    l_chunk, a_chunk = trainer2.train_step(x, y, micro_batch_size=16)
+    assert l_chunk == pytest.approx(l_full)
+    assert a_chunk == pytest.approx(a_full)
+
+
+def test_invalid_chunk_rejected():
+    model = mlp(6, [8], 3)
+    trainer = Trainer(model, SGD(model.parameters()), ConstantLR(0.1))
+    x, y = data()
+    with pytest.raises(ValueError):
+        trainer.train_step(x, y, micro_batch_size=0)
+
+
+def test_fit_with_micro_batching_matches():
+    """fit(micro_batch_size=k) == fit() for non-BN models."""
+
+    def run(micro):
+        model = mlp(6, [8], 3, seed=4)
+        trainer = Trainer(model, SGD(model.parameters(), momentum=0.9,
+                                     weight_decay=0.0), ConstantLR(0.05),
+                          shuffle_seed=2)
+        x, y = data(96)
+        trainer.fit(x, y, x[:24], y[:24], epochs=2, batch_size=48,
+                    micro_batch_size=micro)
+        return model.state_dict()
+
+    full, chunked = run(None), run(12)
+    for k in full:
+        assert np.allclose(full[k], chunked[k], atol=1e-12)
+
+
+def test_batchnorm_breaks_exactness():
+    """Ghost-BN: per-micro-batch statistics make the results differ."""
+
+    def run(chunk):
+        model = mlp(6, [8], 3, batch_norm=True, seed=3)
+        trainer = Trainer(model, SGD(model.parameters()), ConstantLR(0.1))
+        x, y = data()
+        trainer.train_step(x, y, micro_batch_size=chunk)
+        return model.state_dict()
+
+    full, chunked = run(None), run(12)
+    assert any(not np.allclose(full[k], chunked[k], atol=1e-12) for k in full)

@@ -1,0 +1,64 @@
+"""Metric tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import RunningMean, top1_accuracy, top_k_accuracy
+from repro.core.metrics import EpochRecord
+
+
+def test_top1_perfect():
+    logits = np.eye(4) * 10
+    assert top1_accuracy(logits, np.arange(4)) == 1.0
+
+
+def test_top1_half():
+    logits = np.array([[1.0, 0.0], [1.0, 0.0]])
+    assert top1_accuracy(logits, np.array([0, 1])) == 0.5
+
+
+def test_top5_contains_target():
+    rng = np.random.default_rng(0)
+    logits = rng.normal(size=(20, 10))
+    t1 = top_k_accuracy(logits, rng.integers(0, 10, 20), k=1)
+    t5 = top_k_accuracy(logits, rng.integers(0, 10, 20), k=5)
+    assert 0 <= t1 <= t5 <= 1
+
+
+def test_top_k_equals_one_when_k_is_num_classes():
+    logits = np.random.default_rng(1).normal(size=(8, 5))
+    assert top_k_accuracy(logits, np.zeros(8, dtype=int), k=5) == 1.0
+
+
+def test_top_k_invalid_k():
+    with pytest.raises(ValueError):
+        top_k_accuracy(np.zeros((2, 3)), np.zeros(2, dtype=int), k=4)
+
+
+def test_shape_validation():
+    with pytest.raises(ValueError):
+        top1_accuracy(np.zeros((2, 3)), np.zeros(3, dtype=int))
+
+
+def test_running_mean_weighted():
+    rm = RunningMean()
+    rm.update(1.0, weight=3)
+    rm.update(5.0, weight=1)
+    assert rm.mean == pytest.approx(2.0)
+
+
+def test_running_mean_empty_is_zero():
+    assert RunningMean().mean == 0.0
+
+
+def test_running_mean_reset():
+    rm = RunningMean()
+    rm.update(10.0)
+    rm.reset()
+    assert rm.mean == 0.0
+
+
+def test_epoch_record_as_dict():
+    r = EpochRecord(1, 0.5, 0.8, 0.7, 0.01, 100)
+    d = r.as_dict()
+    assert d["epoch"] == 1 and d["test_accuracy"] == 0.7

@@ -1,0 +1,105 @@
+"""Recipe tests: the paper's hyper-parameter tables encoded correctly."""
+
+import pytest
+
+from repro.core import (
+    IMAGENET_TRAIN_SIZE,
+    LARS,
+    PAPER_RECIPES,
+    SGD,
+    Recipe,
+    build_optimizer,
+    build_schedule,
+    scale_to,
+)
+from repro.nn import Parameter
+import numpy as np
+
+
+def test_imagenet_size_constant():
+    assert IMAGENET_TRAIN_SIZE == 1_281_167
+
+
+def test_alexnet_baseline_recipe():
+    r = PAPER_RECIPES["alexnet-b512-baseline"]
+    assert r.batch_size == 512
+    assert r.epochs == 100
+    assert r.peak_lr == pytest.approx(0.02)
+    assert not r.use_lars
+    assert r.momentum == 0.9 and r.weight_decay == 0.0005
+    assert r.poly_power == 2.0
+
+
+def test_alexnet_lars_recipes_match_table7():
+    """Table 7: warmup 13/8/5 epochs for batch 4096/8192/32768."""
+    assert PAPER_RECIPES["alexnet-b4096-lars"].warmup_epochs == 13
+    assert PAPER_RECIPES["alexnet-b8192-lars"].warmup_epochs == 8
+    assert PAPER_RECIPES["alexnet_bn-b32768-lars"].warmup_epochs == 5
+    assert PAPER_RECIPES["alexnet_bn-b32768-lars"].model == "alexnet_bn"
+
+
+def test_resnet_linear_scaling_peak_lr():
+    """Figure 4 caption: base LR 0.2 at batch 256 -> 25.6 at 32K."""
+    r = PAPER_RECIPES["resnet50-b32768-lars"]
+    assert r.peak_lr == pytest.approx(0.2 * 32768 / 256)
+
+
+def test_headline_64_epoch_recipe():
+    r = PAPER_RECIPES["resnet50-b32768-lars-64ep"]
+    assert r.epochs == 64 and r.use_lars
+
+
+def test_iterations_accounting():
+    r = PAPER_RECIPES["alexnet_bn-b32768-lars"]
+    assert r.iterations_per_epoch == 40  # ceil(1281167/32768)
+    assert r.total_iterations == 4000
+    assert r.warmup_iterations == 200  # 5 epochs
+
+
+def test_build_optimizer_dispatch():
+    p = [Parameter(np.ones(3))]
+    assert isinstance(build_optimizer(p, PAPER_RECIPES["alexnet-b512-baseline"]), SGD)
+    assert isinstance(build_optimizer(p, PAPER_RECIPES["alexnet-b4096-lars"]), LARS)
+
+
+def test_build_schedule_peak_and_decay():
+    r = PAPER_RECIPES["resnet50-b8192-lars"]
+    s = build_schedule(r)
+    peak_iter = r.warmup_iterations
+    assert s(peak_iter) == pytest.approx(r.peak_lr, rel=1e-6)
+    assert s(r.total_iterations) < 1e-9
+
+
+def test_scale_to_preserves_iteration_regime():
+    r = PAPER_RECIPES["alexnet_bn-b32768-lars"]
+    proxy = scale_to(r, dataset_size=12812)  # 1/100th of ImageNet
+    assert proxy.iterations_per_epoch == pytest.approx(r.iterations_per_epoch, abs=1)
+    assert proxy.batch_size == 328
+    # base_batch rounds from 5.12 to 5, so the ratio moves a few percent
+    assert proxy.peak_lr == pytest.approx(r.peak_lr, rel=0.05)
+
+
+def test_scale_to_min_batch_floor():
+    r = PAPER_RECIPES["alexnet-b512-baseline"]
+    proxy = scale_to(r, dataset_size=100, min_batch=2)
+    assert proxy.batch_size >= 2
+
+
+def test_recipe_validation():
+    with pytest.raises(ValueError):
+        Recipe("x", "alexnet", 512, 100, 0.02, lr_rule="cosine")
+    with pytest.raises(ValueError):
+        Recipe("x", "alexnet", 0, 100, 0.02)
+    with pytest.raises(ValueError):
+        Recipe("x", "alexnet", 512, 0, 0.02)
+    with pytest.raises(ValueError):
+        Recipe("x", "alexnet", 512, 100, 0.02, warmup_epochs=-1)
+
+
+def test_all_recipes_build():
+    p = [Parameter(np.ones(4))]
+    for name, r in PAPER_RECIPES.items():
+        opt = build_optimizer(p, r)
+        sched = build_schedule(r)
+        assert sched(0) >= 0
+        assert opt.params

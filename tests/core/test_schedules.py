@@ -1,0 +1,137 @@
+"""Schedule tests: poly policy, warmup continuity, scaling rules."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    ConstantLR,
+    GradualWarmup,
+    PolynomialDecay,
+    StepDecay,
+    linear_scaled_lr,
+    paper_schedule,
+    sqrt_scaled_lr,
+)
+
+
+class TestPolynomialDecay:
+    def test_starts_at_base(self):
+        s = PolynomialDecay(0.2, 1000, power=2)
+        assert s(0) == pytest.approx(0.2)
+
+    def test_ends_at_zero(self):
+        s = PolynomialDecay(0.2, 1000, power=2)
+        assert s(1000) == 0.0
+        assert s(5000) == 0.0  # clamped past the horizon
+
+    def test_poly_power_two_midpoint(self):
+        s = PolynomialDecay(1.0, 100, power=2)
+        assert s(50) == pytest.approx(0.25)  # (1 - 0.5)^2
+
+    @given(t=st.integers(0, 999))
+    @settings(max_examples=50, deadline=None)
+    def test_monotone_decreasing(self, t):
+        s = PolynomialDecay(0.2, 1000, power=2)
+        assert s(t) >= s(t + 1)
+
+    def test_power_one_is_linear(self):
+        s = PolynomialDecay(1.0, 10, power=1)
+        assert s(3) == pytest.approx(0.7)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            PolynomialDecay(-1.0, 10)
+        with pytest.raises(ValueError):
+            PolynomialDecay(1.0, 0)
+
+
+class TestGradualWarmup:
+    def test_ramps_linearly(self):
+        base = ConstantLR(1.0)
+        s = GradualWarmup(base, warmup_steps=10, start_lr=0.0)
+        lrs = [s(t) for t in range(10)]
+        diffs = np.diff(lrs)
+        assert np.allclose(diffs, diffs[0])
+        assert lrs[0] == pytest.approx(0.1)
+
+    def test_continuous_at_handoff(self):
+        base = PolynomialDecay(0.32, 1000, power=2)
+        s = GradualWarmup(base, warmup_steps=50)
+        assert s(49) == pytest.approx(s(50), rel=1e-6)
+
+    def test_reaches_peak_at_handoff(self):
+        s = GradualWarmup(ConstantLR(0.5), warmup_steps=20)
+        assert s(20) == pytest.approx(0.5)
+
+    def test_nonzero_start_lr(self):
+        s = GradualWarmup(ConstantLR(1.0), warmup_steps=10, start_lr=0.5)
+        assert 0.5 < s(0) < 1.0
+
+    def test_zero_warmup_is_identity(self):
+        base = PolynomialDecay(0.1, 100)
+        s = GradualWarmup(base, warmup_steps=0)
+        assert s(7) == base(7)
+
+    def test_rebase_shifts_decay_horizon(self):
+        base = PolynomialDecay(1.0, 100, power=1)
+        s = GradualWarmup(base, warmup_steps=50, rebase=True)
+        # at iteration 100 the base has only consumed 50 of its 100 steps
+        assert s(100) == pytest.approx(0.5)
+
+    def test_negative_warmup_raises(self):
+        with pytest.raises(ValueError):
+            GradualWarmup(ConstantLR(1.0), warmup_steps=-1)
+
+
+class TestScalingRules:
+    def test_linear_scaling_512_to_4096(self):
+        """Table 5: linear scaling says batch 4096 at base 0.02/512 needs 0.16."""
+        assert linear_scaled_lr(0.02, 512, 4096) == pytest.approx(0.16)
+
+    def test_linear_scaling_identity(self):
+        assert linear_scaled_lr(0.02, 512, 512) == pytest.approx(0.02)
+
+    @given(k=st.integers(1, 256))
+    @settings(max_examples=30, deadline=None)
+    def test_linear_homogeneity(self, k):
+        assert linear_scaled_lr(0.1, 256, 256 * k) == pytest.approx(0.1 * k)
+
+    def test_sqrt_scaling(self):
+        assert sqrt_scaled_lr(0.1, 256, 1024) == pytest.approx(0.2)
+
+    def test_invalid_batches(self):
+        with pytest.raises(ValueError):
+            linear_scaled_lr(0.1, 0, 256)
+        with pytest.raises(ValueError):
+            sqrt_scaled_lr(0.1, 256, -1)
+
+
+class TestStepDecay:
+    def test_drops_at_milestones(self):
+        s = StepDecay(1.0, [10, 20], gamma=0.1)
+        assert s(9) == pytest.approx(1.0)
+        assert s(10) == pytest.approx(0.1)
+        assert s(20) == pytest.approx(0.01)
+
+
+class TestPaperSchedule:
+    def test_composition_shape(self):
+        s = paper_schedule(0.16, total_iterations=1000, warmup_iterations=100)
+        lrs = np.array([s(t) for t in range(1000)])
+        peak = lrs.argmax()
+        assert 90 <= peak <= 110  # peak at warmup handoff
+        assert lrs[-1] < 0.01 * lrs.max()  # decayed to ~0
+
+    def test_no_warmup_is_pure_poly(self):
+        s = paper_schedule(0.2, 500, 0)
+        assert isinstance(s, PolynomialDecay)
+
+    def test_invalid_lr_flagged_on_call(self):
+        class Bad(ConstantLR):
+            def lr_at(self, t):
+                return float("nan")
+
+        with pytest.raises(ValueError):
+            Bad(0.1)(0)

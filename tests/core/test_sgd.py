@@ -1,0 +1,124 @@
+"""Momentum SGD tests against hand-computed updates."""
+
+import numpy as np
+import pytest
+
+from repro.core import SGD
+from repro.nn import Parameter
+
+
+def param(values, wd=1.0):
+    p = Parameter(np.asarray(values, dtype=float), weight_decay=wd)
+    return p
+
+
+def test_vanilla_sgd_step():
+    p = param([1.0, 2.0])
+    p.grad[:] = [0.5, -0.5]
+    opt = SGD([p], momentum=0.0, weight_decay=0.0)
+    opt.step(lr=0.1)
+    assert np.allclose(p.data, [0.95, 2.05])
+
+
+def test_weight_decay_added_to_gradient():
+    p = param([1.0])
+    p.grad[:] = [0.0]
+    opt = SGD([p], momentum=0.0, weight_decay=0.1)
+    opt.step(lr=1.0)
+    # g_eff = 0 + 0.1*1 = 0.1
+    assert np.allclose(p.data, [0.9])
+
+
+def test_weight_decay_respects_parameter_multiplier():
+    bias = param([1.0], wd=0.0)
+    bias.grad[:] = [0.0]
+    opt = SGD([bias], momentum=0.0, weight_decay=0.1)
+    opt.step(lr=1.0)
+    assert np.allclose(bias.data, [1.0])  # no decay on biases
+
+
+def test_momentum_accumulates_caffe_style():
+    """v <- m v + lr g; w <- w - v (two hand-checked steps)."""
+    p = param([0.0])
+    opt = SGD([p], momentum=0.9, weight_decay=0.0)
+    p.grad[:] = [1.0]
+    opt.step(lr=0.1)  # v = 0.1, w = -0.1
+    assert np.allclose(p.data, [-0.1])
+    p.grad[:] = [1.0]
+    opt.step(lr=0.1)  # v = 0.9*0.1 + 0.1 = 0.19, w = -0.29
+    assert np.allclose(p.data, [-0.29])
+
+
+def test_lr_inside_momentum_buffer():
+    """Caffe convention: changing lr mid-run does not rescale old momentum."""
+    p = param([0.0])
+    opt = SGD([p], momentum=0.9, weight_decay=0.0)
+    p.grad[:] = [1.0]
+    opt.step(lr=1.0)  # v = 1
+    p.grad[:] = [0.0]
+    opt.step(lr=0.0)  # v = 0.9, w -= 0.9
+    assert np.allclose(p.data, [-1.9])
+
+
+def test_nesterov_differs_from_plain():
+    def run(nesterov):
+        p = param([0.0])
+        opt = SGD([p], momentum=0.9, weight_decay=0.0, nesterov=nesterov)
+        for _ in range(3):
+            p.grad[:] = [1.0]
+            opt.step(lr=0.1)
+        return p.data.copy()
+
+    assert not np.allclose(run(True), run(False))
+
+
+def test_zero_grad_via_optimizer():
+    p = param([1.0])
+    p.grad[:] = [5.0]
+    SGD([p]).zero_grad()
+    assert np.all(p.grad == 0)
+
+
+def test_invalid_hyperparameters():
+    p = param([1.0])
+    with pytest.raises(ValueError):
+        SGD([p], momentum=1.0)
+    with pytest.raises(ValueError):
+        SGD([p], weight_decay=-1.0)
+    with pytest.raises(ValueError):
+        SGD([])
+
+
+def test_invalid_lr_rejected():
+    p = param([1.0])
+    opt = SGD([p])
+    with pytest.raises(ValueError):
+        opt.step(lr=-0.1)
+    with pytest.raises(ValueError):
+        opt.step(lr=float("nan"))
+
+
+def test_state_dict_roundtrip_preserves_momentum():
+    p = param([0.0])
+    opt = SGD([p], momentum=0.9, weight_decay=0.0)
+    p.grad[:] = [1.0]
+    opt.step(lr=0.1)
+    snap = opt.state_dict()
+
+    p2 = param([-0.1])
+    opt2 = SGD([p2], momentum=0.9, weight_decay=0.0)
+    opt2.load_state_dict(snap)
+    p.grad[:] = [1.0]
+    p2.grad[:] = [1.0]
+    opt.step(lr=0.1)
+    opt2.step(lr=0.1)
+    assert np.allclose(p.data, p2.data)
+    assert opt2.step_count == 2
+
+
+def test_step_count_increments():
+    p = param([1.0])
+    opt = SGD([p], momentum=0.0, weight_decay=0.0)
+    for i in range(3):
+        opt.step(lr=0.0)
+    assert opt.step_count == 3

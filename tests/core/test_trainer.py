@@ -1,0 +1,115 @@
+"""Serial trainer tests: determinism, convergence, iteration accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core import SGD, ConstantLR, Trainer, iterations_per_epoch
+from repro.nn.models import mlp
+
+
+_CENTRES = np.random.default_rng(99).normal(size=(3, 6)) * 3
+
+
+def toy_problem(n=120, d=6, k=3, seed=0):
+    """Linearly separable-ish Gaussian blobs (shared class centres)."""
+    rng = np.random.default_rng(seed)
+    y = rng.integers(0, k, size=n)
+    x = _CENTRES[y, :d] + rng.normal(size=(n, d))
+    return x, y
+
+
+def make_trainer(seed=0, lr=0.1):
+    model = mlp(6, [16], 3, seed=seed)
+    opt = SGD(model.parameters(), momentum=0.9, weight_decay=0.0001)
+    return Trainer(model, opt, ConstantLR(lr), shuffle_seed=seed)
+
+
+def test_iterations_per_epoch_ceil():
+    assert iterations_per_epoch(1_281_167, 32768) == 40
+    assert iterations_per_epoch(100, 32) == 4
+    assert iterations_per_epoch(96, 32) == 3
+
+
+def test_iterations_per_epoch_invalid():
+    with pytest.raises(ValueError):
+        iterations_per_epoch(0, 32)
+    with pytest.raises(ValueError):
+        iterations_per_epoch(100, 0)
+
+
+def test_training_reduces_loss_and_learns():
+    x, y = toy_problem()
+    xt, yt = toy_problem(seed=1)
+    trainer = make_trainer()
+    result = trainer.fit(x, y, xt, yt, epochs=15, batch_size=32)
+    assert result.history[-1].train_loss < result.history[0].train_loss
+    assert result.final_test_accuracy > 0.8
+
+
+def test_determinism_same_seed():
+    x, y = toy_problem()
+    r1 = make_trainer(seed=3).fit(x, y, x, y, epochs=3, batch_size=16)
+    r2 = make_trainer(seed=3).fit(x, y, x, y, epochs=3, batch_size=16)
+    assert [h.train_loss for h in r1.history] == [h.train_loss for h in r2.history]
+
+
+def test_epoch_iteration_count():
+    x, y = toy_problem(n=100)
+    result = make_trainer().fit(x, y, x, y, epochs=2, batch_size=32)
+    assert all(r.iterations == 4 for r in result.history)
+    assert result.total_iterations == 8
+
+
+def test_peak_vs_final_accuracy():
+    from repro.core import TrainResult
+    from repro.core.metrics import EpochRecord
+
+    res = TrainResult(history=[
+        EpochRecord(1, 1.0, 0.3, 0.5, 0.1, 10),
+        EpochRecord(2, 0.8, 0.5, 0.9, 0.1, 10),
+        EpochRecord(3, 0.7, 0.6, 0.7, 0.1, 10),
+    ])
+    assert res.peak_test_accuracy == 0.9
+    assert res.final_test_accuracy == 0.7
+    assert res.epochs_to_accuracy(0.85) == 2
+    assert res.epochs_to_accuracy(0.95) is None
+
+
+def test_empty_result_defaults():
+    from repro.core import TrainResult
+
+    res = TrainResult()
+    assert res.final_test_accuracy == 0.0
+    assert res.peak_test_accuracy == 0.0
+
+
+def test_float_schedule_accepted():
+    x, y = toy_problem(n=32)
+    model = mlp(6, [8], 3, seed=0)
+    trainer = Trainer(model, SGD(model.parameters()), 0.05)
+    loss, acc = trainer.train_step(x, y)
+    assert np.isfinite(loss) and 0 <= acc <= 1
+
+
+def test_evaluate_batched_matches_full():
+    x, y = toy_problem(n=100)
+    trainer = make_trainer()
+    full = trainer.evaluate(x, y, batch_size=1000)
+    chunked = trainer.evaluate(x, y, batch_size=7)
+    assert full == pytest.approx(chunked)
+
+
+def test_callback_invoked_per_epoch():
+    x, y = toy_problem(n=32)
+    seen = []
+    make_trainer().fit(x, y, x, y, epochs=3, batch_size=16,
+                       callback=lambda r: seen.append(r.epoch))
+    assert seen == [1, 2, 3]
+
+
+def test_epoch_permutation_deterministic_and_distinct():
+    t = make_trainer(seed=5)
+    p0 = t.epoch_permutation(50, 0)
+    assert np.array_equal(p0, t.epoch_permutation(50, 0))
+    assert not np.array_equal(p0, t.epoch_permutation(50, 1))
+    assert sorted(p0) == list(range(50))

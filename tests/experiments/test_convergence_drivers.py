@@ -1,0 +1,107 @@
+"""Structural tests for the convergence (training) experiment drivers.
+
+Run at ``tiny`` scale — fast, seconds per driver — checking row structure,
+ranges and internal consistency.  The paper-shape assertions live in
+``benchmarks/`` at ``small`` scale where the phenomena are actually visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    figure1,
+    figure4,
+    figure5,
+    figure7,
+    table1,
+    table3,
+    table4,
+    table5,
+    table7,
+    table10,
+)
+
+SCALE = "tiny"
+
+CONVERGENCE = {
+    "table1": table1,
+    "table3": table3,
+    "table4": table4,
+    "table5": table5,
+    "table7": table7,
+    "table10": table10,
+    "figure1": figure1,
+    "figure4": figure4,
+    "figure5": figure5,
+}
+
+
+@pytest.mark.parametrize("name", sorted(CONVERGENCE))
+def test_driver_structure(name):
+    result = CONVERGENCE[name].run(scale=SCALE)
+    assert result.experiment == name
+    assert result.rows
+    for row in result.rows:
+        for col in result.columns:
+            assert col in row, (name, col)
+    assert result.format()
+
+
+def test_table5_accuracies_are_probabilities():
+    for r in table5.run(scale=SCALE).rows:
+        assert 0.0 <= r["accuracy"] <= 1.0
+
+
+def test_table10_has_all_paper_batches():
+    batches = {r["paper_batch"] for r in table10.run(scale=SCALE).rows}
+    assert batches == {256, 8192, 16384, 32768, 65536}
+
+
+def test_figure1_gap_consistency():
+    """gap column == lars − linear, row by row."""
+    for r in figure1.run(scale=SCALE).rows:
+        assert r["gap_proxy"] == pytest.approx(
+            r["series_lars_proxy"] - r["series_linear_proxy"])
+
+
+def test_figure4_curves_cover_both_batches_and_modes():
+    rows = figure4.run(scale=SCALE).rows
+    combos = {(r["paper_batch"], r["lars"]) for r in rows}
+    assert combos == {(16384, True), (16384, False), (32768, True), (32768, False)}
+
+
+def test_figure5_epochs_complete():
+    rows = figure5.run(scale=SCALE).rows
+    for pb in {r["paper_batch"] for r in rows}:
+        epochs = [r["epoch"] for r in rows if r["paper_batch"] == pb]
+        assert epochs == sorted(epochs)
+        assert epochs[0] == 1
+
+
+def test_figure7_rows_have_time_and_accuracy():
+    result = figure7.run(scale=SCALE)
+    assert len(result.rows) == 2
+    for r in result.rows:
+        assert r["sim_seconds_total"] > 0
+        assert 0 <= r["final_accuracy"] <= 1
+
+
+def test_table1_contains_three_rows():
+    rows = table1.run(scale=SCALE).rows
+    assert len(rows) == 3
+    assert rows[2]["time_min"] < 15.0
+
+
+def test_table4_has_paper_and_ours_sources():
+    sources = {r["source"] for r in table4.run(scale=SCALE).rows}
+    assert sources == {"paper", "ours"}
+
+
+def test_results_memoised_across_drivers():
+    """table10 and figure1 share sweep points: second call is instant."""
+    import time
+
+    table10.run(scale=SCALE)  # populate
+    t0 = time.perf_counter()
+    figure1.run(scale=SCALE)
+    assert time.perf_counter() - t0 < 1.0

@@ -1,0 +1,120 @@
+"""Experiment-driver tests.
+
+Analytic drivers are checked for exact content; convergence drivers run at
+``tiny`` scale and are checked structurally (columns present, rows complete,
+values in range).  The paper-shape assertions live in ``benchmarks/`` where
+the ``small`` scale runs.
+"""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS
+from repro.experiments import (
+    figure2,
+    figure3,
+    figure6,
+    figure8,
+    figure9,
+    figure10,
+    table2,
+    table6,
+    table8,
+    table9,
+    table11,
+    table12,
+)
+
+ANALYTIC = {
+    "table2": table2,
+    "table6": table6,
+    "table8": table8,
+    "table9": table9,
+    "table11": table11,
+    "table12": table12,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure6": figure6,
+    "figure8": figure8,
+    "figure9": figure9,
+    "figure10": figure10,
+}
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_covered(self):
+        expected = {f"table{i}" for i in range(1, 13)} | {
+            f"figure{i}" for i in list(range(1, 11))
+        } | {"scorecard"}
+        assert set(EXPERIMENTS) == expected
+
+    def test_scorecard_all_green(self):
+        from repro.experiments import scorecard
+
+        result = scorecard.run()
+        assert all(r["ok"] for r in result.rows), [
+            r["claim"] for r in result.rows if not r["ok"]
+        ]
+        assert len(result.rows) >= 19
+
+    def test_main_module_rejects_unknown(self):
+        from repro.experiments.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["table99"])
+
+    def test_main_module_runs_one(self, capsys):
+        from repro.experiments.__main__ import main
+
+        assert main(["figure8", "--scale", "tiny"]) == 0
+        out = capsys.readouterr().out
+        assert "figure8" in out
+
+
+@pytest.mark.parametrize("name", sorted(ANALYTIC))
+def test_analytic_driver_structure(name):
+    result = ANALYTIC[name].run(scale="tiny")
+    assert result.experiment == name
+    assert result.rows, name
+    for row in result.rows:
+        for col in result.columns:
+            assert col in row, (name, col)
+    assert result.format()  # renders without error
+
+
+class TestSpecificContents:
+    def test_table2_final_row(self):
+        r = table2.run().row_by("batch_size", 1_280_000)
+        assert r["iterations"] == 100 and r["gpus"] == 2500
+
+    def test_table6_ratio_factor(self):
+        res = table6.run()
+        alex = res.row_by("model", "alexnet")
+        resn = res.row_by("model", "resnet50")
+        assert resn["scaling_ratio"] > 10 * alex["scaling_ratio"]
+
+    def test_table8_ratios_within_band(self):
+        for r in table8.run().rows:
+            assert 0.6 < r["ratio"] < 1.6, r
+
+    def test_table9_headline(self):
+        rows = table9.run().rows
+        headline = [r for r in rows if r["hardware"] == "2048 KNLs" and r["epochs"] == 90][0]
+        assert 14 < headline["predicted_time_min"] < 26
+
+    def test_table11_exact(self):
+        for r in table11.run().rows:
+            assert r["alpha_us"] == r["paper_alpha_us"]
+
+    def test_figure3_oom_point(self):
+        rows = {r["batch_per_gpu"]: r for r in figure3.run().rows}
+        assert rows[512]["status"] == "ok"
+        assert rows[1024]["status"] == "OUT OF MEMORY"
+
+    def test_figure8_halving(self):
+        rows = {r["batch_size"]: r for r in figure8.run().rows}
+        ratio = rows[512]["iterations_100ep"] / rows[1024]["iterations_100ep"]
+        assert abs(ratio - 2) < 0.01  # ceil(n/B) leaves a rounding sliver
+
+    def test_figure10_model_ordering(self):
+        for r in figure10.run().rows:
+            assert r["alexnet_volume_TB"] > r["resnet50_volume_TB"]

@@ -1,0 +1,81 @@
+"""Proxy-runner tests (tiny scale: structural checks, not shape claims)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.proxy import (
+    ALEXNET_BASE_BATCH,
+    RESNET_BASE_BATCH,
+    ProxyRun,
+    SCALES,
+    alexnet_proxy_batch,
+    proxy_dataset,
+    resnet_proxy_batch,
+    run_proxy,
+)
+
+
+class TestBatchMapping:
+    def test_alexnet_axis(self):
+        assert alexnet_proxy_batch(512) == ALEXNET_BASE_BATCH
+        assert alexnet_proxy_batch(4096) == 64
+        assert alexnet_proxy_batch(32768) == 512
+
+    def test_resnet_axis(self):
+        assert resnet_proxy_batch(256) == RESNET_BASE_BATCH
+        assert resnet_proxy_batch(8192) == 128
+        assert resnet_proxy_batch(65536) == 1024
+
+    def test_relative_factor_preserved(self):
+        # the proxy axis preserves B / B_baseline exactly
+        assert alexnet_proxy_batch(32768) / ALEXNET_BASE_BATCH == 32768 / 512
+        assert resnet_proxy_batch(32768) / RESNET_BASE_BATCH == 32768 / 256
+
+    def test_floor_at_one(self):
+        assert alexnet_proxy_batch(16) == 1
+
+
+class TestProxyDataset:
+    def test_cached(self):
+        assert proxy_dataset("tiny") is proxy_dataset("tiny")
+
+    def test_unknown_scale(self):
+        with pytest.raises(KeyError):
+            proxy_dataset("huge")
+
+    def test_scales_exist(self):
+        assert {"tiny", "small", "medium"} <= set(SCALES)
+
+
+class TestProxyRun:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProxyRun("vgg", 8, 0.1)
+        with pytest.raises(ValueError):
+            ProxyRun("resnet", 0, 0.1)
+
+    def test_run_memoised(self):
+        cfg = ProxyRun("resnet", 8, 0.05)
+        a = run_proxy(cfg, "tiny")
+        b = run_proxy(cfg, "tiny")
+        assert a is b
+
+    def test_baseline_learns_tiny(self):
+        res = run_proxy(ProxyRun("alexnet_bn", 8, 0.05), "tiny")
+        assert res.peak_test_accuracy > 0.5  # 4 classes, chance 0.25
+
+    def test_batch_capped_at_dataset(self):
+        res = run_proxy(ProxyRun("resnet", 10**6, 0.01), "tiny")
+        assert res.history[0].iterations == 1
+
+    def test_lars_config_builds_lars(self):
+        from repro.core import LARS
+
+        cfg = ProxyRun("resnet", 8, 0.05, use_lars=True)
+        model = cfg.build_model(SCALES["tiny"])
+        assert isinstance(cfg.build_optimizer(model.parameters()), LARS)
+
+    def test_divergent_run_returns_finite_history(self):
+        res = run_proxy(ProxyRun("alexnet", 64, 1e4), "tiny")
+        assert len(res.history) == SCALES["tiny"].epochs
+        assert 0 <= res.peak_test_accuracy <= 1

@@ -1,0 +1,68 @@
+"""Report formatting tests."""
+
+import pytest
+
+from repro.experiments.report import ExperimentResult, fmt, format_table
+
+
+class TestFmt:
+    def test_none_is_dash(self):
+        assert fmt(None) == "—"
+
+    def test_nan_is_dash(self):
+        assert fmt(float("nan")) == "—"
+
+    def test_bool(self):
+        assert fmt(True) == "yes" and fmt(False) == "no"
+
+    def test_float_precision(self):
+        assert fmt(0.753) == "0.753"
+        assert fmt(3.14159) == "3.142"
+
+    def test_extreme_floats_scientific(self):
+        assert "e" in fmt(1e7)
+        assert "e" in fmt(1e-5)
+
+    def test_int_and_str(self):
+        assert fmt(42) == "42"
+        assert fmt("hi") == "hi"
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        out = format_table(["a", "bb"], [{"a": 1, "bb": 22}, {"a": 333, "bb": 4}])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert set(lines[1]) <= {"-", " "}
+        assert len(lines) == 4
+
+    def test_missing_cells_dash(self):
+        out = format_table(["a", "b"], [{"a": 1}])
+        assert "—" in out
+
+    def test_empty_rows(self):
+        out = format_table(["x"], [])
+        assert "x" in out
+
+
+class TestExperimentResult:
+    def make(self):
+        return ExperimentResult(
+            experiment="tableX",
+            title="demo",
+            columns=["k", "v"],
+            rows=[{"k": "a", "v": 1}, {"k": "b", "v": 2}],
+            notes="note!",
+        )
+
+    def test_format_includes_everything(self):
+        s = self.make().format()
+        assert "tableX" in s and "demo" in s and "note!" in s and "a" in s
+
+    def test_column(self):
+        assert self.make().column("v") == [1, 2]
+
+    def test_row_by(self):
+        assert self.make().row_by("k", "b")["v"] == 2
+        with pytest.raises(KeyError):
+            self.make().row_by("k", "z")

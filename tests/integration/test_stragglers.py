@@ -1,0 +1,87 @@
+"""Straggler behaviour: the synchronisation barrier the paper discusses.
+
+"after processing each local batch all processors must synchronize their
+gradient updates via a barrier" — so one slow rank gates everyone in sync
+SGD, while the asynchronous parameter server keeps making progress (its
+selling point, bought with staleness).
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ParamServerConfig,
+    SyncSGDConfig,
+    train_param_server,
+    train_sync_sgd,
+)
+from repro.core import SGD, ConstantLR
+from repro.data import gaussian_blobs
+from repro.nn.models import mlp
+
+_X, _Y = gaussian_blobs(128, num_classes=3, dim=6, seed=61)
+
+
+def builder():
+    return mlp(6, [8], 3, seed=7)
+
+
+def opt_builder(params):
+    return SGD(params, momentum=0.9, weight_decay=0.0)
+
+
+def sync_run(straggler_factor: float):
+    """Rank 3 computes ``straggler_factor`` x slower than the others.
+
+    compute_time receives only the local example count, so the straggler is
+    identified through the worker thread's name (run_cluster names threads
+    "rank-<r>").
+    """
+    import threading
+
+    def compute_time(k):
+        name = threading.current_thread().name  # "rank-<r>"
+        rank = int(name.split("-")[1])
+        base = 1e-3 * k
+        return base * (straggler_factor if rank == 3 else 1.0)
+
+    config = SyncSGDConfig(world=4, epochs=2, batch_size=32,
+                           compute_time=compute_time, shuffle_seed=9)
+    return train_sync_sgd(builder, opt_builder, ConstantLR(0.05),
+                          _X, _Y, _X[:32], _Y[:32], config)
+
+
+class TestSyncStraggler:
+    def test_one_slow_rank_gates_the_whole_run(self):
+        """Sync SGD's makespan tracks the slowest rank linearly."""
+        fast = sync_run(1.0).simulated_seconds
+        slow = sync_run(4.0).simulated_seconds
+        assert slow == pytest.approx(4.0 * fast, rel=0.02)
+
+    def test_result_unchanged_by_stragglers(self):
+        """Sequential consistency: timing never changes the arithmetic."""
+        a = sync_run(1.0)
+        b = sync_run(10.0)
+        for k in a.final_state:
+            assert np.array_equal(a.final_state[k], b.final_state[k])
+
+
+class TestAsyncStraggler:
+    def run_ps(self, jitter):
+        config = ParamServerConfig(workers=4, total_updates=40, batch_size=16,
+                                   compute_time=1.0, compute_jitter=jitter,
+                                   seed=3)
+        return train_param_server(builder, opt_builder, ConstantLR(0.05),
+                                  _X, _Y, _X[:32], _Y[:32], config)
+
+    def test_async_absorbs_jitter(self):
+        """The async server's completion time grows far less than the
+        worst-case worker slowdown (no barrier)."""
+        even = self.run_ps(0.0).simulated_seconds
+        jittery = self.run_ps(0.8).simulated_seconds
+        # jitter up to +-80% changes makespan well under 80%
+        assert abs(jittery - even) / even < 0.5
+
+    def test_async_still_applies_all_updates(self):
+        res = self.run_ps(0.8)
+        assert res.updates_applied == 40

@@ -1,0 +1,84 @@
+"""Activation and dropout tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dropout, ReLU, Sigmoid, Tanh
+from repro.nn.gradcheck import check_layer_gradients
+
+
+class TestReLU:
+    def test_forward(self):
+        x = np.array([[-1.0, 0.0, 2.0]])
+        assert np.array_equal(ReLU().forward(x), [[0.0, 0.0, 2.0]])
+
+    def test_gradients(self):
+        x = np.random.default_rng(0).normal(size=(4, 6)) + 0.1  # avoid kink
+        check_layer_gradients(ReLU(), x, tol=1e-7)
+
+    def test_gradient_blocked_at_negative(self):
+        relu = ReLU()
+        relu.forward(np.array([[-5.0, 5.0]]))
+        dx = relu.backward(np.array([[1.0, 1.0]]))
+        assert np.array_equal(dx, [[0.0, 1.0]])
+
+
+class TestSigmoidTanh:
+    def test_sigmoid_range_and_symmetry(self):
+        s = Sigmoid()
+        x = np.linspace(-10, 10, 21)[None]
+        y = s.forward(x)
+        assert np.all((y > 0) & (y < 1))
+        assert np.allclose(y + y[:, ::-1], 1.0)
+
+    def test_sigmoid_large_negative_stable(self):
+        y = Sigmoid().forward(np.array([[-1000.0]]))
+        assert np.isfinite(y).all() and y[0, 0] >= 0
+
+    def test_sigmoid_gradients(self):
+        x = np.random.default_rng(1).normal(size=(3, 5))
+        check_layer_gradients(Sigmoid(), x, tol=1e-6)
+
+    def test_tanh_gradients(self):
+        x = np.random.default_rng(2).normal(size=(3, 5))
+        check_layer_gradients(Tanh(), x, tol=1e-6)
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        d = Dropout(0.5)
+        d.eval()
+        x = np.random.default_rng(0).normal(size=(8, 8))
+        assert np.array_equal(d.forward(x), x)
+
+    def test_p_zero_is_identity(self):
+        d = Dropout(0.0)
+        x = np.random.default_rng(0).normal(size=(8, 8))
+        assert np.array_equal(d.forward(x), x)
+
+    def test_expected_value_preserved(self):
+        d = Dropout(0.3, rng=np.random.default_rng(1))
+        x = np.ones((200, 200))
+        y = d.forward(x)
+        assert abs(y.mean() - 1.0) < 0.02
+
+    def test_mask_reused_in_backward(self):
+        d = Dropout(0.5, rng=np.random.default_rng(2))
+        x = np.ones((10, 10))
+        y = d.forward(x)
+        dx = d.backward(np.ones((10, 10)))
+        # gradient passes exactly where forward passed
+        assert np.array_equal(dx == 0, y == 0)
+
+    def test_reseed_gives_identical_masks(self):
+        d1, d2 = Dropout(0.5), Dropout(0.5)
+        d1.reseed(77)
+        d2.reseed(77)
+        x = np.ones((16, 16))
+        assert np.array_equal(d1.forward(x), d2.forward(x))
+
+    def test_invalid_p_raises(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+        with pytest.raises(ValueError):
+            Dropout(-0.1)

@@ -1,0 +1,99 @@
+"""ConcatBranches layer and GoogLeNet model tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import ConcatBranches, Conv2D, MaxPool2D, ReLU, Sequential
+from repro.nn.gradcheck import check_layer_gradients
+from repro.nn.models import (
+    build_model,
+    inception_module,
+    micro_googlenet,
+    paper_model_cost,
+)
+
+
+class TestConcatBranches:
+    def make(self):
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(2)
+        return ConcatBranches(
+            Sequential(Conv2D(3, 4, 1, rng=rng1), ReLU()),
+            Sequential(Conv2D(3, 6, 3, padding=1, rng=rng2), ReLU()),
+        )
+
+    def test_channels_add(self):
+        assert self.make().output_shape((3, 8, 8)) == (10, 8, 8)
+
+    def test_forward_is_concat(self):
+        layer = self.make()
+        x = np.random.default_rng(0).normal(size=(2, 3, 8, 8))
+        out = layer.forward(x)
+        b1 = layer.branches[0].forward(x)
+        assert np.allclose(out[:, :4], b1)
+
+    def test_gradients(self):
+        layer = self.make()
+        x = np.random.default_rng(3).normal(size=(2, 3, 6, 6))
+        check_layer_gradients(layer, x, tol=1e-6)
+
+    def test_mismatched_spatial_rejected(self):
+        layer = ConcatBranches(
+            Sequential(Conv2D(3, 4, 1)),
+            Sequential(Conv2D(3, 4, 3)),  # no padding: smaller output
+        )
+        with pytest.raises(ValueError):
+            layer.output_shape((3, 8, 8))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ConcatBranches()
+
+    def test_flops_sum_over_branches(self):
+        layer = self.make()
+        total = sum(b.flops_per_example((3, 8, 8)) for b in layer.branches)
+        assert layer.flops_per_example((3, 8, 8)) == total
+
+
+class TestInceptionModule:
+    def test_output_channels(self):
+        rng = np.random.default_rng(0)
+        mod = inception_module(192, 64, 96, 128, 16, 32, 32, rng)
+        assert mod.output_shape((192, 28, 28)) == (64 + 128 + 32 + 32, 28, 28)
+
+    def test_forward_backward(self):
+        rng = np.random.default_rng(1)
+        mod = inception_module(8, 4, 4, 8, 2, 4, 4, rng)
+        x = np.random.default_rng(2).normal(size=(2, 8, 6, 6))
+        out = mod.forward(x)
+        assert out.shape == (2, 20, 6, 6)
+        dx = mod.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+        assert np.isfinite(dx).all()
+
+
+class TestGoogLeNet:
+    def test_paper_cost_numbers(self):
+        """Inception-v1: ~6.8-7 M params, ~3 Gflop per 224x224 image."""
+        c = paper_model_cost("googlenet")
+        assert 6.5e6 < c.parameters < 7.5e6
+        assert 2.5e9 < c.flops_per_image < 3.5e9
+
+    def test_highest_scaling_ratio_in_zoo(self):
+        """GoogLeNet's tiny |W| gives it an even better comp/comm ratio than
+        ResNet-50 — consistent with FireCaffe scaling it first."""
+        g = paper_model_cost("googlenet").scaling_ratio
+        r = paper_model_cost("resnet50").scaling_ratio
+        a = paper_model_cost("alexnet").scaling_ratio
+        assert g > r > a
+
+    def test_micro_trains(self):
+        model = micro_googlenet(num_classes=4, width=4, seed=1)
+        x = np.random.default_rng(0).normal(size=(4, 3, 8, 8))
+        out = model.forward(x)
+        assert out.shape == (4, 4)
+        model.backward(np.ones_like(out))
+        assert all(np.isfinite(p.grad).all() for p in model.parameters())
+
+    def test_registry_build(self):
+        m = build_model("micro_googlenet", num_classes=3, width=4)
+        assert m.num_parameters() > 0

@@ -1,0 +1,140 @@
+"""Convolution: im2col/col2im adjointness, reference equivalence, gradients."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import Conv2D
+from repro.nn.gradcheck import check_layer_gradients, relative_error
+from repro.nn.layers.conv import col2im, conv_output_hw, im2col
+
+
+def naive_conv2d(x, w, b, stride, pad, groups=1):
+    """Loop-based reference convolution."""
+    n, c, h, w_in = x.shape
+    oc, cg, kh, kw = w.shape
+    if pad:
+        x = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    oh = (h + 2 * pad - kh) // stride + 1
+    ow = (w_in + 2 * pad - kw) // stride + 1
+    out = np.zeros((n, oc, oh, ow))
+    og = oc // groups
+    for ni in range(n):
+        for o in range(oc):
+            g = o // og
+            cin = slice(g * cg, (g + 1) * cg)
+            for i in range(oh):
+                for j in range(ow):
+                    patch = x[ni, cin, i * stride : i * stride + kh, j * stride : j * stride + kw]
+                    out[ni, o, i, j] = np.sum(patch * w[o])
+            if b is not None:
+                out[ni, o] += b[o]
+    return out
+
+
+def test_conv_output_hw():
+    assert conv_output_hw(227, 227, 11, 11, 4, 0) == (55, 55)
+    assert conv_output_hw(55, 55, 3, 3, 2, 0) == (27, 27)
+
+
+def test_conv_output_hw_rejects_too_small():
+    with pytest.raises(ValueError):
+        conv_output_hw(2, 2, 5, 5, 1, 0)
+
+
+def test_im2col_shapes():
+    x = np.arange(2 * 3 * 5 * 5, dtype=float).reshape(2, 3, 5, 5)
+    cols, (oh, ow) = im2col(x, 3, 3, 1, 1)
+    assert (oh, ow) == (5, 5)
+    assert cols.shape == (2, 3 * 9, 25)
+
+
+def test_im2col_values_centre_pixel():
+    x = np.arange(1 * 1 * 3 * 3, dtype=float).reshape(1, 1, 3, 3)
+    cols, _ = im2col(x, 3, 3, 1, 0)
+    # single output position contains the whole image
+    assert np.array_equal(cols[0, :, 0], x.ravel())
+
+
+@given(
+    n=st.integers(1, 3),
+    c=st.integers(1, 4),
+    hw=st.integers(4, 9),
+    k=st.integers(1, 3),
+    stride=st.integers(1, 2),
+    pad=st.integers(0, 2),
+)
+@settings(max_examples=25, deadline=None)
+def test_col2im_is_adjoint_of_im2col(n, c, hw, k, stride, pad):
+    """<im2col(x), y> == <x, col2im(y)> — the defining adjoint property."""
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(n, c, hw, hw))
+    cols, (oh, ow) = im2col(x, k, k, stride, pad)
+    y = rng.normal(size=cols.shape)
+    lhs = np.sum(cols * y)
+    rhs = np.sum(x * col2im(y, x.shape, k, k, stride, pad))
+    assert abs(lhs - rhs) < 1e-8 * max(1.0, abs(lhs))
+
+
+@pytest.mark.parametrize("groups", [1, 2])
+@pytest.mark.parametrize("stride,pad", [(1, 0), (1, 1), (2, 1)])
+def test_forward_matches_naive(groups, stride, pad):
+    rng = np.random.default_rng(3)
+    layer = Conv2D(4, 6, 3, stride=stride, padding=pad, groups=groups,
+                   rng=np.random.default_rng(1))
+    x = rng.normal(size=(2, 4, 7, 7))
+    out = layer.forward(x)
+    ref = naive_conv2d(x, layer.weight.data, layer.bias.data, stride, pad, groups)
+    assert relative_error(out, ref) < 1e-10
+
+
+def test_forward_no_bias():
+    layer = Conv2D(2, 3, 3, bias=False, rng=np.random.default_rng(1))
+    assert layer.bias is None
+    x = np.random.default_rng(0).normal(size=(1, 2, 5, 5))
+    ref = naive_conv2d(x, layer.weight.data, None, 1, 0)
+    assert relative_error(layer.forward(x), ref) < 1e-10
+
+
+@pytest.mark.parametrize("groups", [1, 2])
+def test_gradients(groups):
+    layer = Conv2D(2, 4, 3, stride=2, padding=1, groups=groups,
+                   rng=np.random.default_rng(5))
+    x = np.random.default_rng(6).normal(size=(2, 2, 6, 6))
+    check_layer_gradients(layer, x, tol=1e-6)
+
+
+def test_gradient_accumulation_across_calls():
+    layer = Conv2D(2, 2, 3, rng=np.random.default_rng(5))
+    x = np.random.default_rng(6).normal(size=(1, 2, 5, 5))
+    layer.forward(x)
+    layer.backward(np.ones((1, 2, 3, 3)))
+    g1 = layer.weight.grad.copy()
+    layer.forward(x)
+    layer.backward(np.ones((1, 2, 3, 3)))
+    assert np.allclose(layer.weight.grad, 2 * g1)
+
+
+def test_output_shape_validates_channels():
+    layer = Conv2D(3, 8, 3)
+    with pytest.raises(ValueError):
+        layer.output_shape((4, 10, 10))
+
+
+def test_flops_alexnet_conv1():
+    # conv1 of AlexNet: 96 x (3x11x11) over 55x55 output positions
+    layer = Conv2D(3, 96, 11, stride=4)
+    macs = 55 * 55 * 96 * 3 * 11 * 11
+    assert layer.flops_per_example((3, 227, 227)) == 2 * macs + 55 * 55 * 96
+
+
+def test_backward_before_forward_raises():
+    layer = Conv2D(2, 2, 3)
+    with pytest.raises(RuntimeError):
+        layer.backward(np.zeros((1, 2, 3, 3)))
+
+
+def test_invalid_groups_raises():
+    with pytest.raises(ValueError):
+        Conv2D(3, 8, 3, groups=2)

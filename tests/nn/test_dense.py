@@ -1,0 +1,52 @@
+"""Dense layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense
+from repro.nn.gradcheck import check_layer_gradients
+
+
+def test_forward_matches_matmul():
+    layer = Dense(4, 3, rng=np.random.default_rng(0))
+    x = np.random.default_rng(1).normal(size=(5, 4))
+    expected = x @ layer.weight.data + layer.bias.data
+    assert np.allclose(layer.forward(x), expected)
+
+
+def test_forward_no_bias():
+    layer = Dense(4, 3, bias=False, rng=np.random.default_rng(0))
+    assert layer.bias is None
+    x = np.random.default_rng(1).normal(size=(2, 4))
+    assert np.allclose(layer.forward(x), x @ layer.weight.data)
+
+
+def test_gradients():
+    layer = Dense(6, 4, rng=np.random.default_rng(2))
+    x = np.random.default_rng(3).normal(size=(3, 6))
+    check_layer_gradients(layer, x, tol=1e-7)
+
+
+def test_gradients_no_bias():
+    layer = Dense(6, 4, bias=False, rng=np.random.default_rng(2))
+    x = np.random.default_rng(3).normal(size=(3, 6))
+    check_layer_gradients(layer, x, tol=1e-7)
+
+
+def test_bias_has_zero_weight_decay():
+    layer = Dense(4, 3)
+    assert layer.bias.weight_decay == 0.0
+    assert layer.weight.weight_decay == 1.0
+
+
+def test_output_shape_and_flops():
+    layer = Dense(256, 128)
+    assert layer.output_shape((256,)) == (128,)
+    assert layer.flops_per_example((256,)) == 2 * 256 * 128 + 128
+    with pytest.raises(ValueError):
+        layer.output_shape((7,))
+
+
+def test_backward_before_forward_raises():
+    with pytest.raises(RuntimeError):
+        Dense(3, 2).backward(np.zeros((1, 2)))

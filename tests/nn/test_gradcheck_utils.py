@@ -1,0 +1,84 @@
+"""Tests for the gradient-checking utilities themselves."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Dense
+from repro.nn.gradcheck import (
+    check_layer_gradients,
+    numeric_gradient,
+    relative_error,
+)
+
+
+class TestNumericGradient:
+    def test_quadratic(self):
+        x = np.array([1.0, -2.0, 3.0])
+        g = numeric_gradient(lambda: float(np.sum(x**2)), x)
+        assert np.allclose(g, 2 * x, atol=1e-6)
+
+    def test_linear_with_coefficients(self):
+        c = np.array([0.5, -1.5])
+        x = np.array([2.0, 4.0])
+        g = numeric_gradient(lambda: float(c @ x), x)
+        assert np.allclose(g, c, atol=1e-8)
+
+    def test_restores_input(self):
+        x = np.array([1.0, 2.0])
+        x0 = x.copy()
+        numeric_gradient(lambda: float(np.sum(np.sin(x))), x)
+        assert np.array_equal(x, x0)
+
+    def test_matrix_input(self):
+        x = np.arange(6.0).reshape(2, 3)
+        g = numeric_gradient(lambda: float(np.sum(x * x)), x)
+        assert np.allclose(g, 2 * x, atol=1e-6)
+
+
+class TestRelativeError:
+    def test_zero_for_equal(self):
+        a = np.random.default_rng(0).normal(size=5)
+        assert relative_error(a, a.copy()) == 0.0
+
+    def test_symmetric(self):
+        a = np.array([1.0, 2.0])
+        b = np.array([1.1, 2.2])
+        assert relative_error(a, b) == relative_error(b, a)
+
+    def test_scale_free(self):
+        a, b = np.array([1.0]), np.array([1.01])
+        assert relative_error(1000 * a, 1000 * b) == pytest.approx(
+            relative_error(a, b), rel=1e-9)
+
+    def test_empty_arrays(self):
+        assert relative_error(np.zeros(0), np.zeros(0)) == 0.0
+
+
+class TestCheckLayerGradients:
+    def test_passes_on_correct_layer(self):
+        layer = Dense(4, 3, rng=np.random.default_rng(0))
+        errs = check_layer_gradients(layer, np.random.default_rng(1).normal(size=(3, 4)))
+        assert all(v < 1e-5 for v in errs.values())
+
+    def test_catches_broken_backward(self):
+        """A layer with a deliberately wrong backward must fail the check —
+        the checker itself is falsifiable."""
+
+        class Broken(Dense):
+            def backward(self, grad_out):
+                dx = super().backward(grad_out)
+                self.weight.grad *= 1.5  # sabotage
+                return dx
+
+        layer = Broken(4, 3, rng=np.random.default_rng(0))
+        with pytest.raises(AssertionError):
+            check_layer_gradients(layer, np.random.default_rng(1).normal(size=(3, 4)))
+
+    def test_catches_broken_input_gradient(self):
+        class BrokenDx(Dense):
+            def backward(self, grad_out):
+                return 0.9 * super().backward(grad_out)
+
+        layer = BrokenDx(4, 3, rng=np.random.default_rng(0))
+        with pytest.raises(AssertionError):
+            check_layer_gradients(layer, np.random.default_rng(1).normal(size=(3, 4)))

@@ -1,0 +1,75 @@
+"""Tests for weight initialisers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import initializers as init
+
+
+def rng():
+    return np.random.default_rng(42)
+
+
+def test_fan_in_out_dense():
+    assert init.fan_in_out((128, 64)) == (128, 64)
+
+
+def test_fan_in_out_conv():
+    # (out, in, kh, kw) = (96, 3, 11, 11): fan_in = 3*121, fan_out = 96*121
+    assert init.fan_in_out((96, 3, 11, 11)) == (3 * 121, 96 * 121)
+
+
+def test_fan_in_out_scalar_and_vector():
+    assert init.fan_in_out(()) == (1, 1)
+    assert init.fan_in_out((7,)) == (7, 7)
+
+
+def test_zeros_ones_constant():
+    assert np.all(init.zeros((3, 3)) == 0)
+    assert np.all(init.ones((3, 3)) == 1)
+    assert np.all(init.constant(0.1)((5,)) == 0.1)
+
+
+def test_gaussian_statistics():
+    w = init.gaussian(std=0.01)((200, 200), rng())
+    assert abs(w.mean()) < 1e-3
+    assert abs(w.std() - 0.01) < 1e-3
+
+
+def test_he_normal_std_matches_fan_in():
+    shape = (256, 64, 3, 3)
+    w = init.he_normal(shape, rng())
+    expected = np.sqrt(2.0 / (64 * 9))
+    assert abs(w.std() - expected) / expected < 0.05
+
+
+def test_xavier_bounds():
+    shape = (100, 50)
+    w = init.xavier(shape, rng())
+    a = np.sqrt(3.0 / 100)
+    assert w.min() >= -a and w.max() <= a
+
+
+def test_determinism_same_seed():
+    a = init.he_normal((10, 10), np.random.default_rng(7))
+    b = init.he_normal((10, 10), np.random.default_rng(7))
+    assert np.array_equal(a, b)
+
+
+@given(
+    out_c=st.integers(1, 32),
+    in_c=st.integers(1, 32),
+    k=st.integers(1, 7),
+)
+@settings(max_examples=30, deadline=None)
+def test_fan_in_out_conv_property(out_c, in_c, k):
+    fan_in, fan_out = init.fan_in_out((out_c, in_c, k, k))
+    assert fan_in == in_c * k * k
+    assert fan_out == out_c * k * k
+
+
+def test_lecun_and_he_uniform_shapes():
+    assert init.lecun_normal((4, 5), rng()).shape == (4, 5)
+    assert init.he_uniform((4, 5), rng()).shape == (4, 5)

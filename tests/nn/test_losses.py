@@ -1,0 +1,110 @@
+"""Softmax cross-entropy tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.nn import SoftmaxCrossEntropy, log_softmax, softmax
+from repro.nn.gradcheck import numeric_gradient, relative_error
+
+
+def test_softmax_rows_sum_to_one():
+    x = np.random.default_rng(0).normal(size=(5, 7)) * 10
+    p = softmax(x)
+    assert np.allclose(p.sum(axis=1), 1.0)
+    assert np.all(p >= 0)
+
+
+def test_softmax_stable_for_large_logits():
+    p = softmax(np.array([[1e4, 0.0, -1e4]]))
+    assert np.isfinite(p).all()
+    assert p[0, 0] == pytest.approx(1.0)
+
+
+def test_log_softmax_consistent_with_softmax():
+    x = np.random.default_rng(1).normal(size=(3, 4))
+    assert np.allclose(np.exp(log_softmax(x)), softmax(x))
+
+
+def test_uniform_logits_loss_is_log_k():
+    loss = SoftmaxCrossEntropy()
+    k = 10
+    val = loss.forward(np.zeros((4, k)), np.arange(4) % k)
+    assert val == pytest.approx(np.log(k))
+
+
+def test_perfect_prediction_loss_near_zero():
+    loss = SoftmaxCrossEntropy()
+    logits = np.full((3, 5), -100.0)
+    logits[np.arange(3), [0, 1, 2]] = 100.0
+    assert loss.forward(logits, np.array([0, 1, 2])) < 1e-6
+
+
+def test_gradient_matches_numeric():
+    loss = SoftmaxCrossEntropy()
+    rng = np.random.default_rng(2)
+    logits = rng.normal(size=(4, 6))
+    targets = rng.integers(0, 6, size=4)
+
+    loss.forward(logits, targets)
+    grad = loss.backward()
+    num = numeric_gradient(lambda: loss_eval(logits, targets), logits)
+    assert relative_error(grad, num) < 1e-6
+
+
+def loss_eval(logits, targets):
+    return SoftmaxCrossEntropy().forward(logits, targets)
+
+
+def test_gradient_rows_sum_to_zero():
+    """softmax CE gradient is probs - onehot, each row sums to 0."""
+    loss = SoftmaxCrossEntropy()
+    rng = np.random.default_rng(3)
+    loss.forward(rng.normal(size=(8, 5)), rng.integers(0, 5, size=8))
+    g = loss.backward()
+    assert np.allclose(g.sum(axis=1), 0, atol=1e-12)
+
+
+def test_gradient_scaled_by_batch_size():
+    """Mean reduction: per-example gradient magnitude scales as 1/B."""
+    rng = np.random.default_rng(4)
+    logits1 = rng.normal(size=(1, 5))
+    loss = SoftmaxCrossEntropy()
+    loss.forward(logits1, np.array([2]))
+    g1 = loss.backward()
+    logitsB = np.repeat(logits1, 10, axis=0)
+    loss.forward(logitsB, np.full(10, 2))
+    gB = loss.backward()
+    assert np.allclose(gB[0], g1[0] / 10)
+
+
+def test_label_smoothing_changes_target_distribution():
+    loss = SoftmaxCrossEntropy(label_smoothing=0.1)
+    val = loss.forward(np.zeros((2, 4)), np.array([0, 1]))
+    assert val == pytest.approx(np.log(4))  # uniform logits: same loss
+    g = loss.backward()
+    # smoothed target: no entry of the gradient equals probs - 1 exactly
+    assert g.min() > (0.25 - 1.0) / 2
+
+
+def test_invalid_targets_raise():
+    loss = SoftmaxCrossEntropy()
+    with pytest.raises(ValueError):
+        loss.forward(np.zeros((2, 3)), np.array([0, 3]))
+    with pytest.raises(ValueError):
+        loss.forward(np.zeros((2, 3)), np.array([0]))
+
+
+def test_invalid_smoothing_raises():
+    with pytest.raises(ValueError):
+        SoftmaxCrossEntropy(label_smoothing=1.0)
+
+
+@given(st.integers(2, 8), st.integers(2, 10))
+@settings(max_examples=20, deadline=None)
+def test_loss_nonnegative_property(n, k):
+    rng = np.random.default_rng(n * 100 + k)
+    loss = SoftmaxCrossEntropy()
+    val = loss.forward(rng.normal(size=(n, k)), rng.integers(0, k, size=n))
+    assert val >= 0.0

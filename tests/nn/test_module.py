@@ -1,0 +1,120 @@
+"""Module base-class mechanics: naming, state dicts, modes, containers."""
+
+import numpy as np
+import pytest
+
+from repro.nn import BatchNorm, Dense, Dropout, Flatten, ReLU, Residual, Sequential
+from repro.nn.models import mlp
+
+
+def small_model():
+    return mlp(8, [6, 4], 3, batch_norm=True, seed=0)
+
+
+def test_parameters_deterministic_order():
+    m1, m2 = small_model(), small_model()
+    names1 = [p.name for p in m1.parameters()]
+    names2 = [p.name for p in m2.parameters()]
+    assert names1 == names2
+    assert len(names1) == len(set(names1))  # unique
+
+
+def test_assign_names_produces_dotted_paths():
+    m = small_model()
+    names = {p.name for p in m.parameters()}
+    assert any(name.startswith("mlp.layers.0") for name in names)
+
+
+def test_state_dict_roundtrip():
+    m1, m2 = small_model(), small_model()
+    for p in m1.parameters():
+        p.data += 1.0
+    m2.load_state_dict(m1.state_dict())
+    for p1, p2 in zip(m1.parameters(), m2.parameters()):
+        assert np.array_equal(p1.data, p2.data)
+
+
+def test_state_dict_is_a_copy():
+    m = small_model()
+    sd = m.state_dict()
+    first = m.parameters()[0]
+    sd[first.name] += 99.0
+    assert not np.array_equal(first.data, sd[first.name])
+
+
+def test_load_state_dict_missing_key_raises():
+    m = small_model()
+    sd = m.state_dict()
+    sd.pop(next(iter(sd)))
+    with pytest.raises(KeyError):
+        m.load_state_dict(sd)
+
+
+def test_load_state_dict_shape_mismatch_raises():
+    m = small_model()
+    sd = m.state_dict()
+    k = next(iter(sd))
+    sd[k] = np.zeros((1, 1))
+    with pytest.raises(ValueError):
+        m.load_state_dict(sd)
+
+
+def test_train_eval_propagates():
+    m = Sequential(Dense(4, 4), Dropout(0.5), BatchNorm(4))
+    m.eval()
+    assert all(not mod.training for mod in m.modules())
+    m.train()
+    assert all(mod.training for mod in m.modules())
+
+
+def test_zero_grad_clears_all():
+    m = small_model()
+    x = np.random.default_rng(0).normal(size=(4, 8))
+    out = m.forward(x)
+    m.backward(np.ones_like(out))
+    assert any(np.any(p.grad != 0) for p in m.parameters())
+    m.zero_grad()
+    assert all(np.all(p.grad == 0) for p in m.parameters())
+
+
+def test_sequential_forward_backward_chain():
+    m = Sequential(Dense(4, 4, rng=np.random.default_rng(0)), ReLU(),
+                   Dense(4, 2, rng=np.random.default_rng(1)))
+    x = np.random.default_rng(2).normal(size=(3, 4))
+    out = m.forward(x)
+    assert out.shape == (3, 2)
+    dx = m.backward(np.ones((3, 2)))
+    assert dx.shape == (3, 4)
+
+
+def test_sequential_append_getitem_len():
+    m = Sequential(Dense(2, 2))
+    m.append(ReLU())
+    assert len(m) == 2
+    assert isinstance(m[1], ReLU)
+
+
+def test_num_parameters():
+    m = Sequential(Dense(4, 3))  # 4*3 + 3
+    assert m.num_parameters() == 15
+
+
+def test_residual_shape_mismatch_raises():
+    block = Residual(Sequential(Dense(4, 5)))
+    with pytest.raises(ValueError):
+        block.output_shape((4,))
+
+
+def test_summary_contains_totals():
+    m = small_model()
+    s = m.summary((8,))
+    assert "total" in s
+    assert str(m.num_parameters()) in s
+
+
+def test_flatten_roundtrip():
+    f = Flatten()
+    x = np.random.default_rng(0).normal(size=(2, 3, 4, 4))
+    y = f.forward(x)
+    assert y.shape == (2, 48)
+    assert f.backward(y).shape == x.shape

@@ -1,0 +1,93 @@
+"""Pooling layer tests."""
+
+import numpy as np
+import pytest
+
+from repro.nn import AvgPool2D, GlobalAvgPool2D, MaxPool2D
+from repro.nn.gradcheck import check_layer_gradients, relative_error
+
+
+def naive_maxpool(x, k, s, p):
+    n, c, h, w = x.shape
+    if p:
+        x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
+    oh = (h + 2 * p - k) // s + 1
+    ow = (w + 2 * p - k) // s + 1
+    out = np.empty((n, c, oh, ow))
+    for i in range(oh):
+        for j in range(ow):
+            out[:, :, i, j] = x[:, :, i * s : i * s + k, j * s : j * s + k].max(axis=(2, 3))
+    return out
+
+
+class TestMaxPool:
+    @pytest.mark.parametrize("k,s,p", [(2, 2, 0), (3, 2, 0), (3, 2, 1), (3, 1, 1)])
+    def test_matches_naive(self, k, s, p):
+        x = np.random.default_rng(0).normal(size=(2, 3, 7, 7))
+        layer = MaxPool2D(k, s, padding=p)
+        assert relative_error(layer.forward(x), naive_maxpool(x, k, s, p)) < 1e-12
+
+    def test_negative_inputs_with_padding(self):
+        """Padded zeros must not beat negative activations."""
+        x = -np.ones((1, 1, 4, 4))
+        layer = MaxPool2D(3, 2, padding=1)
+        out = layer.forward(x)
+        assert np.all(out == -1.0)
+
+    def test_gradients(self):
+        # distinct values so argmax is stable under perturbation
+        rng = np.random.default_rng(1)
+        x = rng.permutation(np.arange(2 * 2 * 6 * 6, dtype=float)).reshape(2, 2, 6, 6)
+        check_layer_gradients(MaxPool2D(2, 2), x, tol=1e-6)
+
+    def test_gradient_routes_to_argmax_only(self):
+        x = np.array([[[[1.0, 2.0], [3.0, 4.0]]]])
+        layer = MaxPool2D(2, 2)
+        layer.forward(x)
+        dx = layer.backward(np.array([[[[10.0]]]]))
+        assert dx[0, 0, 1, 1] == 10.0
+        assert dx.sum() == 10.0
+
+    def test_stride_defaults_to_kernel(self):
+        assert MaxPool2D(3).stride == 3
+
+    def test_alexnet_pool_shape(self):
+        assert MaxPool2D(3, 2).output_shape((96, 55, 55)) == (96, 27, 27)
+
+
+class TestAvgPool:
+    def test_constant_input(self):
+        x = np.full((1, 2, 4, 4), 5.0)
+        out = AvgPool2D(2, 2).forward(x)
+        assert np.allclose(out, 5.0)
+
+    def test_matches_mean(self):
+        x = np.random.default_rng(2).normal(size=(2, 3, 6, 6))
+        out = AvgPool2D(3, 3).forward(x)
+        ref = x.reshape(2, 3, 2, 3, 2, 3).mean(axis=(3, 5))
+        assert relative_error(out, ref) < 1e-12
+
+    def test_gradients(self):
+        x = np.random.default_rng(3).normal(size=(2, 2, 6, 6))
+        check_layer_gradients(AvgPool2D(2, 2), x, tol=1e-7)
+
+    def test_gradient_is_uniform(self):
+        layer = AvgPool2D(2, 2)
+        layer.forward(np.zeros((1, 1, 4, 4)))
+        dx = layer.backward(np.ones((1, 1, 2, 2)))
+        assert np.allclose(dx, 0.25)
+
+
+class TestGlobalAvgPool:
+    def test_forward(self):
+        x = np.random.default_rng(4).normal(size=(3, 5, 7, 7))
+        out = GlobalAvgPool2D().forward(x)
+        assert out.shape == (3, 5)
+        assert np.allclose(out, x.mean(axis=(2, 3)))
+
+    def test_gradients(self):
+        x = np.random.default_rng(5).normal(size=(2, 3, 4, 4))
+        check_layer_gradients(GlobalAvgPool2D(), x, tol=1e-8)
+
+    def test_output_shape(self):
+        assert GlobalAvgPool2D().output_shape((2048, 7, 7)) == (2048,)

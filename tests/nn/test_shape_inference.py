@@ -1,0 +1,79 @@
+"""Shape-inference consistency: ``output_shape`` must agree with what
+``forward`` actually produces, for every model in the zoo.
+
+The flop counter, the summary table and the throughput model all consume
+``output_shape``; a drift between inference and execution would silently
+corrupt Table 6 / Figure 3.
+"""
+
+import numpy as np
+import pytest
+
+from repro.nn import activation_elements_per_example
+from repro.nn.models import (
+    micro_alexnet,
+    micro_googlenet,
+    micro_resnet,
+    mlp,
+)
+
+CASES = [
+    ("micro_alexnet_bn", lambda: micro_alexnet(num_classes=5, image_size=12,
+                                               width=4, hidden=16, norm="bn"),
+     (3, 12, 12)),
+    ("micro_alexnet_lrn", lambda: micro_alexnet(num_classes=5, image_size=12,
+                                                width=4, hidden=16, norm="lrn"),
+     (3, 12, 12)),
+    ("micro_resnet", lambda: micro_resnet(num_classes=5, width=4), (3, 16, 16)),
+    ("micro_googlenet", lambda: micro_googlenet(num_classes=5, width=4),
+     (3, 12, 12)),
+    ("mlp", lambda: mlp(10, [8, 6], 5), (10,)),
+    ("mlp_flat", lambda: mlp(3 * 64, [8], 5, flatten_input=True), (3, 8, 8)),
+]
+
+
+@pytest.mark.parametrize("name,builder,shape", CASES, ids=[c[0] for c in CASES])
+class TestShapeAgreement:
+    def test_output_shape_matches_forward(self, name, builder, shape):
+        model = builder()
+        predicted = model.output_shape(shape)
+        x = np.random.default_rng(0).normal(size=(2, *shape))
+        out = model.forward(x)
+        assert out.shape == (2, *predicted)
+
+    def test_backward_shape_roundtrip(self, name, builder, shape):
+        model = builder()
+        x = np.random.default_rng(1).normal(size=(2, *shape))
+        out = model.forward(x)
+        dx = model.backward(np.ones_like(out))
+        assert dx.shape == x.shape
+
+    def test_flops_positive(self, name, builder, shape):
+        model = builder()
+        assert model.flops_per_example(shape) > 0
+
+    def test_activation_count_positive(self, name, builder, shape):
+        model = builder()
+        act = activation_elements_per_example(model, shape)
+        assert act > int(np.prod(shape))  # at least input + something
+
+    def test_summary_renders(self, name, builder, shape):
+        model = builder()
+        s = model.summary(shape)
+        assert "total" in s
+        assert str(model.num_parameters()) in s
+
+
+def test_batch_of_one():
+    """Single-example batches must work (BN uses batch statistics, which
+    degenerate but stay finite with eps)."""
+    model = micro_resnet(num_classes=3, width=4)
+    x = np.random.default_rng(2).normal(size=(1, 3, 8, 8))
+    out = model.forward(x)
+    assert np.isfinite(out).all()
+
+
+def test_large_batch_shapes():
+    model = mlp(6, [4], 2)
+    x = np.zeros((512, 6))
+    assert model.forward(x).shape == (512, 2)

@@ -1,0 +1,53 @@
+"""Tests for Parameter gradient bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Parameter
+
+
+def test_parameter_stores_float64():
+    p = Parameter(np.array([1, 2, 3], dtype=np.int32))
+    assert p.data.dtype == np.float64
+
+
+def test_grad_initialised_to_zero_same_shape():
+    p = Parameter(np.ones((3, 4)))
+    assert p.grad.shape == (3, 4)
+    assert np.all(p.grad == 0)
+
+
+def test_accumulate_sums_gradients():
+    p = Parameter(np.zeros(4))
+    p.accumulate(np.ones(4))
+    p.accumulate(2 * np.ones(4))
+    assert np.allclose(p.grad, 3.0)
+
+
+def test_zero_grad_resets_in_place():
+    p = Parameter(np.zeros(4))
+    g = p.grad
+    p.accumulate(np.ones(4))
+    p.zero_grad()
+    assert np.all(p.grad == 0)
+    assert p.grad is g  # in place, not reallocated
+
+
+def test_copy_is_deep():
+    p = Parameter(np.ones(3), name="w", weight_decay=0.0)
+    p.accumulate(np.ones(3))
+    q = p.copy()
+    q.data += 1
+    q.grad += 1
+    assert np.all(p.data == 1) and np.all(p.grad == 1)
+    assert q.name == "w" and q.weight_decay == 0.0
+
+
+def test_shape_and_size_properties():
+    p = Parameter(np.zeros((2, 5)))
+    assert p.shape == (2, 5)
+    assert p.size == 10
+
+
+def test_default_weight_decay_is_one():
+    assert Parameter(np.zeros(1)).weight_decay == 1.0

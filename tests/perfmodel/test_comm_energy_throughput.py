@@ -1,0 +1,206 @@
+"""Comm-analysis (Figures 6/8/9/10), energy (Table 12) and throughput
+(Figure 3) tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import IMAGENET_TRAIN_SIZE
+from repro.nn import activation_elements_per_example
+from repro.nn.models import build_model, paper_model_cost
+from repro.perfmodel import (
+    comm_volume_bytes,
+    device,
+    device_throughput,
+    energy_of,
+    energy_ratio,
+    iterations,
+    messages,
+    sweep_batch_sizes,
+    throughput_curve,
+    total_flops,
+    training_energy,
+    training_memory_bytes,
+)
+
+
+class TestCommAnalysis:
+    def test_iterations_formula(self):
+        """Figure 8: I = E·n/B."""
+        assert iterations(100, 1_280_000, 512) == 250_000
+        assert iterations(90, IMAGENET_TRAIN_SIZE, 32768) == 90 * 40
+
+    def test_iterations_inverse_in_batch(self):
+        i1 = iterations(100, 1_280_000, 1024)
+        i2 = iterations(100, 1_280_000, 2048)
+        assert i1 == 2 * i2
+
+    def test_messages_track_iterations(self):
+        """Figure 9: messages linear in iterations."""
+        m_small = messages(100, 1_280_000, 512)
+        m_large = messages(100, 1_280_000, 2048)
+        assert m_small == 4 * m_large
+
+    def test_comm_volume_formula(self):
+        """Figure 10: V = |W|·E·n/B (fp32 bytes)."""
+        c = paper_model_cost("alexnet")
+        v = comm_volume_bytes(c, 100, 1_280_000, 512)
+        assert v == c.parameters * 4 * 250_000
+
+    def test_flops_independent_of_batch(self):
+        """Figure 6: fixed epochs fix the computation volume."""
+        c = paper_model_cost("resnet50")
+        rows = sweep_batch_sizes(c, 90, IMAGENET_TRAIN_SIZE, [256, 8192, 32768])
+        flops = {r["total_flops"] for r in rows}
+        assert len(flops) == 1
+
+    def test_sweep_monotonicity(self):
+        c = paper_model_cost("alexnet")
+        rows = sweep_batch_sizes(c, 100, 1_280_000, [512, 4096, 32768])
+        iters = [r["iterations"] for r in rows]
+        vols = [r["comm_volume_bytes"] for r in rows]
+        assert iters == sorted(iters, reverse=True)
+        assert vols == sorted(vols, reverse=True)
+
+    @given(b=st.integers(1, 10**6), k=st.integers(2, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_volume_scales_inverse_batch(self, b, k):
+        c = paper_model_cost("alexnet")
+        v1 = comm_volume_bytes(c, 10, 10**6, b)
+        vk = comm_volume_bytes(c, 10, 10**6, b * k)
+        assert vk <= v1
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            iterations(0, 100, 10)
+
+
+class TestEnergy:
+    def test_lookup(self):
+        assert energy_of("32 bit DRAM access").picojoules == 640.0
+
+    def test_unknown_op_raises(self):
+        with pytest.raises(KeyError):
+            energy_of("64 bit dram access")
+
+    def test_dram_vs_float_multiply_ratio(self):
+        """640 / 3.7 ≈ 173x — the paper's comm-costs-more-energy claim."""
+        assert energy_ratio("32 bit DRAM access", "32 bit float multiply") == (
+            pytest.approx(173.0, rel=0.01)
+        )
+
+    def test_training_energy_compute_constant_in_batch(self):
+        c = paper_model_cost("resnet50")
+        e1 = training_energy(c, 90, IMAGENET_TRAIN_SIZE, 256)
+        e2 = training_energy(c, 90, IMAGENET_TRAIN_SIZE, 32768)
+        assert e1.compute_joules == pytest.approx(e2.compute_joules)
+
+    def test_training_energy_comm_shrinks_with_batch(self):
+        c = paper_model_cost("alexnet")
+        e1 = training_energy(c, 100, IMAGENET_TRAIN_SIZE, 512)
+        e2 = training_energy(c, 100, IMAGENET_TRAIN_SIZE, 32768)
+        assert e2.comm_joules < e1.comm_joules
+        assert e2.comm_fraction < e1.comm_fraction
+
+    def test_breakdown_totals(self):
+        c = paper_model_cost("alexnet")
+        e = training_energy(c, 100, IMAGENET_TRAIN_SIZE, 512)
+        assert e.total_joules == pytest.approx(e.compute_joules + e.comm_joules)
+        assert 0 <= e.comm_fraction <= 1
+
+    def test_facility_energy_headline(self):
+        """2048 KNLs for ~20 minutes is on the order of 100 kWh."""
+        from repro.perfmodel import estimate_training_time, facility_energy_kwh, network
+
+        est = estimate_training_time(
+            paper_model_cost("resnet50"), epochs=90,
+            dataset_size=IMAGENET_TRAIN_SIZE, global_batch=32768,
+            processors=2048, device=device("knl"), net=network("opa"))
+        kwh = facility_energy_kwh(est, device("knl").tdp_watts)
+        assert 80 < kwh < 250
+
+    def test_facility_energy_scales_with_time_and_procs(self):
+        from repro.perfmodel import estimate_training_time, facility_energy_kwh, network
+
+        short = estimate_training_time(
+            paper_model_cost("resnet50"), epochs=45,
+            dataset_size=IMAGENET_TRAIN_SIZE, global_batch=32768,
+            processors=2048, device=device("knl"), net=network("opa"))
+        full = estimate_training_time(
+            paper_model_cost("resnet50"), epochs=90,
+            dataset_size=IMAGENET_TRAIN_SIZE, global_batch=32768,
+            processors=2048, device=device("knl"), net=network("opa"))
+        assert facility_energy_kwh(full, 215) == pytest.approx(
+            2 * facility_energy_kwh(short, 215), rel=0.01)
+
+    def test_facility_energy_invalid_tdp(self):
+        from repro.perfmodel import estimate_training_time, facility_energy_kwh, network
+
+        est = estimate_training_time(
+            paper_model_cost("alexnet"), epochs=1,
+            dataset_size=1000, global_batch=100, processors=2,
+            device=device("p100"), net=network("fdr"))
+        with pytest.raises(ValueError):
+            facility_energy_kwh(est, 0)
+
+
+class TestThroughput:
+    """Figure 3: AlexNet on M40 — speed peaks near batch 512, 1024 OOMs."""
+
+    @pytest.fixture(scope="class")
+    def alexnet_setup(self):
+        cost = paper_model_cost("alexnet")
+        act = activation_elements_per_example(build_model("alexnet"), (3, 227, 227))
+        return cost, act
+
+    def test_throughput_monotone_while_fitting(self, alexnet_setup):
+        cost, act = alexnet_setup
+        curve = throughput_curve(cost, device("m40"), act)
+        fitting = [p for p in curve if p.fits_in_memory]
+        speeds = [p.images_per_second for p in fitting]
+        assert speeds == sorted(speeds)
+
+    def test_batch_512_fits_1024_oom_on_m40(self, alexnet_setup):
+        """The paper: 'Batch=512 per GPU gives us the highest speed.
+        Batch=1024 per GPU is out of memory.'"""
+        cost, act = alexnet_setup
+        p512 = device_throughput(cost, 512, device("m40"), act)
+        p1024 = device_throughput(cost, 1024, device("m40"), act)
+        assert p512.fits_in_memory
+        assert not p1024.fits_in_memory
+
+    def test_memory_model_linear_in_batch(self, alexnet_setup):
+        cost, act = alexnet_setup
+        m1 = training_memory_bytes(cost, 1, act)
+        m2 = training_memory_bytes(cost, 101, act)
+        assert m2 - m1 == pytest.approx(100 * act * 8)
+
+    def test_utilisation_saturates(self, alexnet_setup):
+        cost, act = alexnet_setup
+        p = device_throughput(cost, 10**6, device("m40"), act)
+        assert p.utilisation > 0.99
+
+    def test_invalid_batch(self, alexnet_setup):
+        cost, act = alexnet_setup
+        with pytest.raises(ValueError):
+            device_throughput(cost, 0, device("m40"), act)
+
+    def test_default_curve_covers_powers_of_two(self, alexnet_setup):
+        cost, act = alexnet_setup
+        curve = throughput_curve(cost, device("m40"), act)
+        assert [p.batch_size for p in curve] == [2**k for k in range(11)]
+
+
+class TestActivationFootprint:
+    def test_counts_input_and_layer_outputs(self):
+        from repro.nn.models import mlp
+
+        m = mlp(4, [8], 2)
+        # input 4 + dense 8 + relu 8 + dense 2
+        assert activation_elements_per_example(m, (4,)) == 4 + 8 + 8 + 2
+
+    def test_alexnet_activations_order_of_magnitude(self):
+        act = activation_elements_per_example(build_model("alexnet"), (3, 227, 227))
+        # AlexNet forward activations are ~1-2 M scalars per example
+        assert 5e5 < act < 5e6

@@ -1,0 +1,118 @@
+"""Device/network/energy profile tests (Tables 11 and 12 as data)."""
+
+import pytest
+
+from repro.perfmodel import (
+    DEVICES,
+    ENERGY_TABLE_45NM,
+    NETWORKS,
+    DeviceProfile,
+    device,
+    network,
+)
+
+
+class TestDevices:
+    def test_paper_peak_flops(self):
+        """Peaks quoted in the paper: P100 10.6T, KNL 6T."""
+        assert device("p100").peak_flops == pytest.approx(10.6e12)
+        assert device("knl").peak_flops == pytest.approx(6.0e12)
+
+    def test_p100_roughly_two_knls(self):
+        """'The power of one P100 GPU is roughly equal to two KNLs' —
+        in sustained ResNet-50 terms."""
+        p100 = device("p100").sustained_flops("resnet50")
+        knl = device("knl").sustained_flops("resnet50")
+        assert 2.0 < p100 / knl < 4.0
+
+    def test_gamma_p100_matches_table11_caption(self):
+        """γ = 0.9e-13 s/flop for P100."""
+        assert device("p100").gamma == pytest.approx(0.9434e-13, rel=0.06)
+
+    def test_utilisation_monotone_in_batch(self):
+        dev = device("p100")
+        u = [dev.utilisation(b, "alexnet") for b in (8, 64, 512)]
+        assert u[0] < u[1] < u[2] < 1.0
+
+    def test_alexnet_needs_bigger_batches_than_resnet(self):
+        """AlexNet's FC GEMMs demand batch; ResNet-50 saturates early —
+        the reason the paper's DGX-1 shows speedup for AlexNet (Table 8)
+        but not for ResNet-50 (Table 9)."""
+        dev = device("p100")
+        assert dev.utilisation(32, "alexnet") < 0.3
+        assert dev.utilisation(32, "resnet50") > 0.9
+
+    def test_sustained_without_batch_is_saturated(self):
+        dev = device("knl")
+        assert dev.sustained_flops("resnet50") == pytest.approx(
+            6.0e12 * dev.efficiency("resnet50")
+        )
+
+    def test_unknown_model_uses_default(self):
+        dev = device("m40")
+        assert dev.efficiency("vgg16") == dev.default_efficiency
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DeviceProfile("x", -1, 1)
+        with pytest.raises(ValueError):
+            DeviceProfile("x", 1, 1, default_efficiency=1.5)
+        with pytest.raises(ValueError):
+            device("p100").utilisation(0)
+
+    def test_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            device("tpu")
+        with pytest.raises(KeyError):
+            network("ethernet")
+
+    def test_all_paper_devices_present(self):
+        for name in ["k20", "m40", "p100", "knl", "skylake"]:
+            assert name in DEVICES
+
+
+class TestNetworks:
+    def test_table11_values_verbatim(self):
+        fdr = network("fdr")
+        assert fdr.alpha == pytest.approx(0.7e-6)
+        assert fdr.beta == pytest.approx(0.2e-9)
+        qdr = network("qdr")
+        assert qdr.alpha == pytest.approx(1.2e-6)
+        assert qdr.beta == pytest.approx(0.3e-9)
+        gbe = network("10gbe")
+        assert gbe.alpha == pytest.approx(7.2e-6)
+        assert gbe.beta == pytest.approx(0.9e-9)
+
+    def test_latency_ordering(self):
+        """Table 11's rows are ordered fastest to slowest."""
+        assert network("fdr").alpha < network("qdr").alpha < network("10gbe").alpha
+        assert network("fdr").beta < network("qdr").beta < network("10gbe").beta
+
+
+class TestEnergyTable:
+    def as_dict(self):
+        return {e.operation: e for e in ENERGY_TABLE_45NM}
+
+    def test_table12_values_verbatim(self):
+        d = self.as_dict()
+        assert d["32 bit int add"].picojoules == 0.1
+        assert d["32 bit float add"].picojoules == 0.9
+        assert d["32 bit register access"].picojoules == 1.0
+        assert d["32 bit int multiply"].picojoules == 3.1
+        assert d["32 bit float multiply"].picojoules == 3.7
+        assert d["32 bit SRAM access"].picojoules == 5.0
+        assert d["32 bit DRAM access"].picojoules == 640.0
+
+    def test_kinds_match_paper(self):
+        d = self.as_dict()
+        assert d["32 bit float add"].kind == "computation"
+        assert d["32 bit DRAM access"].kind == "communication"
+
+    def test_communication_costs_more_than_computation(self):
+        """The paper's headline claim for Table 12: DRAM access dwarfs any
+        arithmetic op."""
+        d = self.as_dict()
+        dram = d["32 bit DRAM access"].picojoules
+        for e in ENERGY_TABLE_45NM:
+            if e.kind == "computation":
+                assert dram > 100 * e.picojoules

@@ -1,0 +1,174 @@
+"""Time-model tests: Table 2 structure and Table 8/9 reproduction.
+
+The headline check: the calibrated α-β-γ model must land within 1.5× of
+every measured wall-clock row in Tables 8 and 9 (we claim shape, not
+testbed-exact numbers; in practice most rows land within 10 %).
+"""
+
+import math
+
+import pytest
+
+from repro.core import IMAGENET_TRAIN_SIZE
+from repro.nn.models import paper_model_cost
+from repro.perfmodel import (
+    device,
+    estimate_training_time,
+    iteration_breakdown,
+    network,
+    table2_row,
+    weak_scaling_efficiency,
+)
+
+
+def estimate(model, epochs, batch, procs, dev, net):
+    return estimate_training_time(
+        paper_model_cost(model),
+        epochs=epochs,
+        dataset_size=IMAGENET_TRAIN_SIZE,
+        global_batch=batch,
+        processors=procs,
+        device=device(dev),
+        net=network(net),
+    )
+
+
+# (model, epochs, batch, processors, device, network, paper minutes)
+TABLE8_ROWS = [
+    ("alexnet", 100, 512, 8, "p100", "nvlink", 370),       # DGX-1, 6h10m
+    ("alexnet", 100, 4096, 8, "p100", "nvlink", 139),      # DGX-1, 2h19m
+    ("alexnet_bn", 100, 32768, 512, "knl", "opa", 24),
+    ("alexnet_bn", 100, 32768, 1024, "skylake", "opa", 11),
+]
+
+TABLE9_ROWS = [
+    ("resnet50", 90, 256, 8, "p100", "nvlink", 21 * 60),
+    ("resnet50", 90, 8192, 8, "p100", "nvlink", 21 * 60),
+    ("resnet50", 90, 8192, 256, "p100", "fdr", 60),        # Facebook's 1 hour
+    ("resnet50", 90, 16384, 1024, "skylake", "opa", 52),
+    ("resnet50", 90, 16000, 1600, "skylake", "opa", 31),
+    ("resnet50", 90, 32768, 512, "knl", "opa", 60),
+    ("resnet50", 90, 32768, 1024, "skylake", "opa", 48),
+    ("resnet50", 90, 32768, 2048, "knl", "opa", 20),
+]
+
+
+class TestPaperTimeRows:
+    @pytest.mark.parametrize("row", TABLE8_ROWS, ids=lambda r: f"B{r[2]}xP{r[3]}")
+    def test_table8_alexnet_times(self, row):
+        model, ep, b, p, dev, net, paper_min = row
+        est = estimate(model, ep, b, p, dev, net)
+        assert paper_min / 1.5 < est.total_minutes < paper_min * 1.5
+
+    @pytest.mark.parametrize("row", TABLE9_ROWS, ids=lambda r: f"B{r[2]}xP{r[3]}")
+    def test_table9_resnet_times(self, row):
+        model, ep, b, p, dev, net, paper_min = row
+        est = estimate(model, ep, b, p, dev, net)
+        assert paper_min / 1.5 < est.total_minutes < paper_min * 1.5
+
+    def test_headline_20_minutes(self):
+        """2048 KNLs, batch 32K, 90 epochs -> ~20 minutes."""
+        est = estimate("resnet50", 90, 32768, 2048, "knl", "opa")
+        assert 14 < est.total_minutes < 26
+
+    def test_headline_11_minutes_alexnet(self):
+        """1024 CPUs, batch 32K, 100 epochs AlexNet-BN -> ~11 minutes."""
+        est = estimate("alexnet_bn", 100, 32768, 1024, "skylake", "opa")
+        assert 8 < est.total_minutes < 15
+
+    def test_table1_64_epochs_beats_akiba(self):
+        """64-epoch run (74.9 % target) takes ~64/90 of the 90-epoch time —
+        the paper's 14-minute headline vs Akiba's 15."""
+        e90 = estimate("resnet50", 90, 32768, 2048, "knl", "opa")
+        e64 = estimate("resnet50", 64, 32768, 2048, "knl", "opa")
+        assert e64.total_seconds == pytest.approx(e90.total_seconds * 64 / 90, rel=0.01)
+        assert e64.total_minutes < 15
+
+
+class TestTable2:
+    def test_iterations_halve_as_batch_doubles(self):
+        rows = [table2_row(b) for b in (512, 1024, 2048, 4096)]
+        iters = [r["iterations"] for r in rows]
+        assert iters == [250_000, 125_000, 62_500, 31_250]
+
+    def test_gpu_count_tracks_batch(self):
+        assert table2_row(8192)["gpus"] == 16
+        assert table2_row(1_280_000)["gpus"] == 2500
+
+    def test_final_row_structure(self):
+        r = table2_row(1_280_000)
+        assert r["iterations"] == 100
+        assert "log(2500)" in r["total_time"]
+
+    def test_indivisible_batch_rejected(self):
+        with pytest.raises(ValueError):
+            table2_row(1000)
+
+
+class TestIterationBreakdown:
+    def test_compute_dominates_at_small_p(self):
+        c = paper_model_cost("resnet50")
+        b = iteration_breakdown(c, 256, 1, device("p100"), network("fdr"))
+        assert b.comm_fraction == 0.0  # single rank: no allreduce
+
+    def test_comm_grows_with_p_at_fixed_global_batch(self):
+        """Strong scaling hits the communication wall."""
+        c = paper_model_cost("alexnet")
+        fracs = [
+            iteration_breakdown(c, 4096, p, device("p100"), network("10gbe")).comm_fraction
+            for p in (2, 16, 128)
+        ]
+        assert fracs[0] < fracs[1] < fracs[2]
+
+    def test_total_equals_sum(self):
+        c = paper_model_cost("resnet50")
+        b = iteration_breakdown(c, 8192, 64, device("knl"), network("opa"))
+        assert b.total_seconds == pytest.approx(b.compute_seconds + b.comm_seconds)
+
+    def test_invalid_args(self):
+        c = paper_model_cost("alexnet")
+        with pytest.raises(ValueError):
+            iteration_breakdown(c, 0, 4, device("p100"), network("fdr"))
+        with pytest.raises(ValueError):
+            iteration_breakdown(c, 512, 0, device("p100"), network("fdr"))
+
+
+class TestWeakScaling:
+    def test_resnet_scales_better_than_alexnet(self):
+        """Table 6's punchline: ResNet-50's 12.5x larger comp/comm ratio
+        gives it higher weak-scaling efficiency at the same P."""
+        kw = dict(processors=64, batch_per_processor=64,
+                  device=device("knl"), net=network("qdr"))
+        r = weak_scaling_efficiency(paper_model_cost("resnet50"), **kw)
+        a = weak_scaling_efficiency(paper_model_cost("alexnet"), **kw)
+        assert r > a
+
+    def test_efficiency_bounded(self):
+        e = weak_scaling_efficiency(
+            paper_model_cost("resnet50"), 16, 64, device("p100"), network("fdr")
+        )
+        assert 0 < e <= 1.0
+
+    def test_efficiency_degrades_with_p(self):
+        c = paper_model_cost("alexnet")
+        e8 = weak_scaling_efficiency(c, 8, 64, device("p100"), network("10gbe"))
+        e512 = weak_scaling_efficiency(c, 512, 64, device("p100"), network("10gbe"))
+        assert e512 < e8
+
+
+class TestEstimateProperties:
+    def test_images_per_second_positive(self):
+        est = estimate("resnet50", 90, 8192, 256, "p100", "fdr")
+        assert est.images_per_second > 0
+
+    def test_hours_minutes_consistent(self):
+        est = estimate("alexnet", 100, 512, 8, "p100", "nvlink")
+        assert est.total_hours * 60 == pytest.approx(est.total_minutes)
+
+    def test_iterations_ceiling(self):
+        est = estimate("resnet50", 90, 32768, 2048, "knl", "opa")
+        assert est.iterations == math.ceil(IMAGENET_TRAIN_SIZE / 32768) * 90
+
+    def test_invalid_epochs(self):
+        with pytest.raises(ValueError):
+            estimate("resnet50", 0, 256, 8, "p100", "fdr")

@@ -1,0 +1,47 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "resnet50" in out and "Omni-Path" in out
+
+
+def test_predict_headline(capsys):
+    assert main(["predict", "--model", "resnet50", "--epochs", "90",
+                 "--batch", "32768", "--processors", "2048",
+                 "--device", "knl", "--network", "opa"]) == 0
+    out = capsys.readouterr().out
+    assert "total time" in out
+    # the 20-minute headline, within the model's band
+    minutes = float(out.split("total time:")[1].split("minutes")[0])
+    assert 14 < minutes < 26
+
+
+def test_train_serial(capsys):
+    assert main(["train", "--model", "mlp", "--optimizer", "lars",
+                 "--batch", "64", "--epochs", "2", "--dataset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "peak test accuracy" in out
+
+
+def test_train_cluster(capsys):
+    assert main(["train", "--model", "mlp", "--optimizer", "sgd",
+                 "--batch", "64", "--epochs", "1", "--world", "2",
+                 "--dataset", "tiny"]) == 0
+    out = capsys.readouterr().out
+    assert "simulated ranks" in out
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
+
+
+def test_unknown_device_errors():
+    with pytest.raises(KeyError):
+        main(["predict", "--device", "tpu"])

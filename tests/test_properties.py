@@ -1,0 +1,151 @@
+"""Cross-stack property-based tests (hypothesis).
+
+The repository's key invariants, fuzzed over their whole parameter domains
+rather than spot-checked.  Heavier generators use small ``max_examples`` to
+keep the suite fast; each example still covers a full train/communicate
+cycle.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import SyncSGDConfig, train_sync_sgd
+from repro.comm import allreduce_cost, run_cluster
+from repro.comm.fabric import NetworkProfile
+from repro.core import LARS, SGD, ConstantLR, GradualWarmup, PolynomialDecay, Trainer
+from repro.data import gaussian_blobs
+from repro.nn.models import mlp
+
+_X, _Y = gaussian_blobs(64, num_classes=3, dim=5, seed=101)
+
+
+class TestSequentialConsistencyProperty:
+    """The headline invariant, fuzzed: any world size and batch size."""
+
+    @given(world=st.integers(1, 5), batch=st.integers(5, 64),
+           momentum=st.sampled_from([0.0, 0.9]))
+    @settings(max_examples=10, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    def test_cluster_equals_serial(self, world, batch, momentum):
+        def builder():
+            return mlp(5, [6], 3, seed=17)
+
+        def opt_builder(params):
+            return SGD(params, momentum=momentum, weight_decay=0.0005)
+
+        model = builder()
+        serial = Trainer(model, opt_builder(model.parameters()),
+                         ConstantLR(0.05), shuffle_seed=17)
+        serial.fit(_X, _Y, _X[:16], _Y[:16], epochs=1, batch_size=batch)
+
+        config = SyncSGDConfig(world=world, epochs=1,
+                               batch_size=max(batch, world), shuffle_seed=17)
+        cluster = train_sync_sgd(builder, opt_builder, ConstantLR(0.05),
+                                 _X, _Y, _X[:16], _Y[:16], config)
+        if max(batch, world) == batch:  # identical batch streams
+            ref = model.state_dict()
+            for k in ref:
+                assert np.allclose(cluster.final_state[k], ref[k], atol=1e-9)
+
+
+class TestCollectiveProperties:
+    @given(size=st.integers(1, 6), n=st.integers(1, 40),
+           algorithm=st.sampled_from(["tree", "ring"]))
+    @settings(max_examples=15, deadline=None)
+    def test_allreduce_linearity(self, size, n, algorithm):
+        """allreduce(a*x) == a * allreduce(x): summation is linear."""
+        a = 3.5
+
+        def worker_plain(comm):
+            x = np.random.default_rng(comm.rank).normal(size=n)
+            return comm.allreduce(x, algorithm=algorithm)
+
+        def worker_scaled(comm):
+            x = np.random.default_rng(comm.rank).normal(size=n)
+            return comm.allreduce(a * x, algorithm=algorithm)
+
+        plain, _ = run_cluster(size, worker_plain)
+        scaled, _ = run_cluster(size, worker_scaled)
+        assert np.allclose(scaled[0], a * plain[0], atol=1e-9)
+
+    @given(p=st.integers(2, 4096), nbytes=st.integers(1, 10**9),
+           algorithm=st.sampled_from(["tree", "ring", "rhd"]))
+    @settings(max_examples=50, deadline=None)
+    def test_cost_positive_and_monotone_in_bytes(self, p, nbytes, algorithm):
+        prof = NetworkProfile(alpha=1e-6, beta=1e-9)
+        c1 = allreduce_cost(p, nbytes, prof, algorithm)
+        c2 = allreduce_cost(p, 2 * nbytes, prof, algorithm)
+        assert 0 < c1 <= c2
+
+
+class TestOptimizerProperties:
+    @given(lr=st.floats(1e-4, 10.0), scale=st.floats(1e-3, 1e3))
+    @settings(max_examples=30, deadline=None)
+    def test_lars_step_norm_bound(self, lr, scale):
+        """Without decay/momentum, ‖Δw‖ == lr·η·‖w‖ for any gradient scale."""
+        from repro.nn import Parameter
+
+        rng = np.random.default_rng(3)
+        p = Parameter(rng.normal(size=6))
+        p.grad[:] = rng.normal(size=6) * scale
+        w_norm = np.linalg.norm(p.data)
+        before = p.data.copy()
+        LARS([p], trust_coefficient=0.01, momentum=0.0, weight_decay=0.0).step(lr)
+        assert np.linalg.norm(before - p.data) == pytest.approx(
+            lr * 0.01 * w_norm, rel=1e-9)
+
+    @given(k=st.floats(0.1, 100.0))
+    @settings(max_examples=30, deadline=None)
+    def test_sgd_update_linear_in_gradient(self, k):
+        from repro.nn import Parameter
+
+        def step(scale):
+            p = Parameter(np.zeros(4))
+            p.grad[:] = scale * np.array([1.0, -2.0, 3.0, -4.0])
+            SGD([p], momentum=0.0, weight_decay=0.0).step(0.1)
+            return -p.data
+
+        assert np.allclose(step(k), k * step(1.0), rtol=1e-12)
+
+
+class TestScheduleProperties:
+    @given(base=st.floats(1e-4, 10.0), total=st.integers(2, 5000),
+           power=st.floats(0.5, 3.0))
+    @settings(max_examples=40, deadline=None)
+    def test_poly_bounded_and_monotone(self, base, total, power):
+        s = PolynomialDecay(base, total, power=power)
+        prev = s(0)
+        assert prev == pytest.approx(base)
+        for t in np.linspace(0, total, 20, dtype=int):
+            cur = s(int(t))
+            assert 0.0 <= cur <= base + 1e-12
+            assert cur <= prev + 1e-12
+            prev = cur
+
+    @given(warmup=st.integers(1, 200), base=st.floats(1e-3, 5.0))
+    @settings(max_examples=30, deadline=None)
+    def test_warmup_never_overshoots_peak(self, warmup, base):
+        s = GradualWarmup(PolynomialDecay(base, 1000), warmup)
+        peak = max(s(t) for t in range(warmup + 5))
+        assert peak <= base * (1 + 1e-9)
+
+
+class TestShardingProperty:
+    @given(n=st.integers(1, 300), batch=st.integers(1, 64),
+           world=st.integers(1, 9), epoch=st.integers(0, 5))
+    @settings(max_examples=40, deadline=None)
+    def test_epoch_coverage_exact(self, n, batch, world, epoch):
+        """Across all ranks and all batches of an epoch, every example
+        appears exactly once — the fixed-epoch bookkeeping every formula
+        (I = E·n/B, Figure 6) rests on."""
+        from repro.cluster import epoch_permutation, shard_batch
+
+        order = epoch_permutation(n, epoch, seed=1)
+        seen = []
+        for lo in range(0, n, batch):
+            gidx = order[lo : lo + batch]
+            for r in range(world):
+                seen.extend(shard_batch(gidx, world, r).tolist())
+        assert sorted(seen) == list(range(n))

@@ -1,0 +1,86 @@
+"""Checkpoint save/load tests."""
+
+import numpy as np
+import pytest
+
+from repro.core import LARS, SGD, Adam, ConstantLR, Trainer
+from repro.nn.models import micro_resnet, mlp
+from repro.util import load_checkpoint, save_checkpoint
+
+
+def trained_model_and_opt(opt_cls=SGD, steps=3, **opt_kw):
+    model = mlp(6, [8], 3, seed=1)
+    opt = opt_cls(model.parameters(), **opt_kw)
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(12, 6))
+    y = rng.integers(0, 3, size=12)
+    trainer = Trainer(model, opt, ConstantLR(0.05), shuffle_seed=0)
+    for _ in range(steps):
+        trainer.train_step(x, y)
+    return model, opt, trainer, (x, y)
+
+
+def test_model_roundtrip(tmp_path):
+    model, opt, trainer, _ = trained_model_and_opt()
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(path, model, opt, iteration=trainer.iteration)
+
+    fresh = mlp(6, [8], 3, seed=99)  # different weights
+    it = load_checkpoint(path, fresh)
+    assert it == 3
+    for k, v in model.state_dict().items():
+        assert np.array_equal(fresh.state_dict()[k], v)
+
+
+@pytest.mark.parametrize("opt_cls,kw", [
+    (SGD, {"momentum": 0.9, "weight_decay": 0.0}),
+    (LARS, {"trust_coefficient": 0.01}),
+    (Adam, {}),
+])
+def test_resume_continues_identically(tmp_path, opt_cls, kw):
+    """Train 3 steps, checkpoint, train 2 more; vs restore + 2 steps."""
+    model, opt, trainer, (x, y) = trained_model_and_opt(opt_cls, **kw)
+    path = tmp_path / "ckpt.npz"
+    save_checkpoint(path, model, opt, iteration=trainer.iteration)
+    for _ in range(2):
+        trainer.train_step(x, y)
+    expected = model.state_dict()
+
+    model2 = mlp(6, [8], 3, seed=1)
+    opt2 = opt_cls(model2.parameters(), **kw)
+    load_checkpoint(path, model2, opt2)
+    trainer2 = Trainer(model2, opt2, ConstantLR(0.05), shuffle_seed=0)
+    trainer2.iteration = 3
+    for _ in range(2):
+        trainer2.train_step(x, y)
+    for k, v in expected.items():
+        assert np.allclose(model2.state_dict()[k], v, atol=1e-12)
+
+
+def test_model_only_checkpoint(tmp_path):
+    model, opt, trainer, _ = trained_model_and_opt()
+    path = tmp_path / "m.npz"
+    save_checkpoint(path, model)
+    fresh = mlp(6, [8], 3, seed=2)
+    assert load_checkpoint(path, fresh) == 0
+    with pytest.raises(KeyError):
+        load_checkpoint(path, fresh, SGD(fresh.parameters()))
+
+
+def test_conv_model_checkpoint(tmp_path):
+    model = micro_resnet(num_classes=3, width=4, seed=4)
+    path = tmp_path / "res.npz"
+    save_checkpoint(path, model)
+    fresh = micro_resnet(num_classes=3, width=4, seed=5)
+    load_checkpoint(path, fresh)
+    for k, v in model.state_dict().items():
+        assert np.array_equal(fresh.state_dict()[k], v)
+
+
+def test_shape_mismatch_rejected(tmp_path):
+    model, *_ = trained_model_and_opt()
+    path = tmp_path / "m.npz"
+    save_checkpoint(path, model)
+    wrong = mlp(6, [16], 3)
+    with pytest.raises((ValueError, KeyError)):
+        load_checkpoint(path, wrong)

@@ -1,0 +1,110 @@
+"""Timer, LayerProfiler and ascii plotting tests."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.nn.models import mlp
+from repro.util import LayerProfiler, Timer, ascii_plot, sparkline
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        with t:
+            time.sleep(0.01)
+        assert t.count == 2
+        assert t.total >= 0.02
+        assert t.mean == pytest.approx(t.total / 2)
+
+    def test_reset(self):
+        t = Timer()
+        with t:
+            pass
+        t.reset()
+        assert t.total == 0.0 and t.count == 0
+
+    def test_mean_empty(self):
+        assert Timer().mean == 0.0
+
+
+class TestLayerProfiler:
+    def test_records_all_layers(self):
+        model = mlp(6, [8], 3)
+        prof = LayerProfiler(model)
+        x = np.random.default_rng(0).normal(size=(16, 6))
+        out = model.forward(x)
+        model.backward(np.ones_like(out))
+        assert len(prof.forward_time) == len(model.layers)
+        assert all(t.count == 1 for t in prof.forward_time.values())
+
+    def test_report_sorted_with_total(self):
+        model = mlp(6, [8], 3)
+        prof = LayerProfiler(model)
+        model.forward(np.zeros((4, 6)))
+        rep = prof.report()
+        assert "TOTAL" in rep and "mlp.layers" in rep
+
+    def test_hotspot(self):
+        model = mlp(6, [64], 3)
+        prof = LayerProfiler(model)
+        model.forward(np.zeros((64, 6)))
+        assert prof.hotspot() is not None
+
+    def test_unwrap_restores(self):
+        model = mlp(6, [8], 3)
+        originals = [l.forward for l in model.layers]
+        prof = LayerProfiler(model)
+        prof.unwrap()
+        assert [l.forward for l in model.layers] == originals
+
+    def test_requires_sequential(self):
+        from repro.nn import Dense
+
+        with pytest.raises(TypeError):
+            LayerProfiler(Dense(3, 3))
+
+    def test_profiled_model_still_correct(self):
+        model = mlp(6, [8], 3, seed=3)
+        x = np.random.default_rng(1).normal(size=(5, 6))
+        expected = model.forward(x)
+        prof = LayerProfiler(model)
+        assert np.array_equal(model.forward(x), expected)
+
+
+class TestPlotting:
+    def test_sparkline_monotone(self):
+        s = sparkline([1, 2, 3, 4, 5, 6, 7, 8])
+        assert s == "▁▂▃▄▅▆▇█"
+
+    def test_sparkline_constant(self):
+        assert len(sparkline([5, 5, 5])) == 3
+
+    def test_sparkline_nan_blank(self):
+        assert sparkline([1.0, float("nan"), 2.0])[1] == " "
+
+    def test_ascii_plot_contains_markers_and_legend(self):
+        chart = ascii_plot({
+            "lars": [(256, 0.75), (32768, 0.75)],
+            "sgd": [(256, 0.75), (32768, 0.55)],
+        }, logx=True)
+        assert "l = lars" in chart and "s = sgd" in chart
+        assert "l" in chart.splitlines()[0] + chart.splitlines()[1]
+
+    def test_ascii_plot_empty(self):
+        assert ascii_plot({"a": []}) == "(no data)"
+
+    def test_ascii_plot_single_point(self):
+        chart = ascii_plot({"x": [(1.0, 1.0)]})
+        assert "x = x" in chart
+
+    def test_ascii_plot_logx_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ascii_plot({"a": [(0.0, 1.0)]}, logx=True)
+
+    def test_ascii_plot_filters_nonfinite(self):
+        chart = ascii_plot({"a": [(1.0, 1.0), (float("nan"), 2.0), (2.0, 3.0)]})
+        assert "a = a" in chart
