@@ -37,6 +37,43 @@ def _add_train_parser(sub) -> None:
     p.add_argument("--world", type=int, default=1,
                    help="simulated ranks (1 = serial)")
     p.add_argument("--seed", type=int, default=0)
+    fault = p.add_argument_group(
+        "fault injection (cluster runs only; see repro.faults)")
+    fault.add_argument("--drop-prob", type=float, default=0.0,
+                       help="per-message loss probability (reliable link "
+                            "retransmits; time is lost, values are not)")
+    fault.add_argument("--corrupt-prob", type=float, default=0.0,
+                       help="per-message checksum-detected corruption "
+                            "probability (treated as a loss)")
+    fault.add_argument("--straggler", action="append", default=[],
+                       metavar="RANK:MULT",
+                       help="slow rank RANK down by MULT x (repeatable)")
+    fault.add_argument("--kill", action="append", default=[],
+                       metavar="RANK:ITER",
+                       help="crash rank RANK at iteration ITER; survivors "
+                            "restart from the last checkpoint (repeatable)")
+    fault.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the deterministic fault sequence")
+    fault.add_argument("--checkpoint-dir", default=None,
+                       help="directory for periodic on-disk checkpoints "
+                            "(atomic .npz; used by crash recovery)")
+    fault.add_argument("--recv-timeout", type=float, default=10.0,
+                       help="wall seconds a recv waits before declaring a "
+                            "peer unresponsive (fault runs only)")
+
+
+def _parse_rank_map(pairs: list[str], flag: str, cast) -> dict[int, float | int]:
+    """Parse repeated ``RANK:VALUE`` options into a dict."""
+    out = {}
+    for pair in pairs:
+        try:
+            rank_s, value_s = pair.split(":", 1)
+            out[int(rank_s)] = cast(value_s)
+        except ValueError:
+            raise SystemExit(
+                f"error: {flag} expects RANK:VALUE (got {pair!r})"
+            ) from None
+    return out
 
 
 def _add_predict_parser(sub) -> None:
@@ -98,12 +135,32 @@ def cmd_train(args) -> int:
                                    flatten_input=True, seed=model_seed)
             return build_model(args.model, **kwargs)
 
+        stragglers = _parse_rank_map(args.straggler, "--straggler", float)
+        kills = _parse_rank_map(args.kill, "--kill", int)
+        fault_plan = None
+        if (args.drop_prob > 0 or args.corrupt_prob > 0
+                or stragglers or kills):
+            from .faults import FaultPlan
+
+            fault_plan = FaultPlan(seed=args.fault_seed,
+                                   drop_prob=args.drop_prob,
+                                   corrupt_prob=args.corrupt_prob,
+                                   stragglers=stragglers, kills=kills)
+
         config = SyncSGDConfig(world=args.world, epochs=args.epochs,
-                               batch_size=args.batch, shuffle_seed=args.seed)
+                               batch_size=args.batch, shuffle_seed=args.seed,
+                               fault_plan=fault_plan,
+                               recv_timeout=(args.recv_timeout
+                                             if fault_plan else None),
+                               checkpoint_dir=args.checkpoint_dir)
         res = train_sync_sgd(builder, opt_builder, schedule,
                              ds.x_train, ds.y_train, ds.x_test, ds.y_test, config)
         print(f"final test accuracy: {res.final_test_accuracy:.4f} "
               f"({args.world} simulated ranks, {res.messages} messages)")
+        if res.fault_stats is not None:
+            print(f"faults: {res.fault_stats.summary()}")
+            for report in res.fault_reports:
+                print(report.format())
     else:
         trainer = Trainer(model, opt_builder(model.parameters()), schedule,
                           shuffle_seed=args.seed)

@@ -19,9 +19,18 @@ from .collectives import (
     reduce_cost,
     reduce_tree,
 )
-from .communicator import Communicator, run_cluster
+from .communicator import DEFAULT_RECV_TIMEOUT, Communicator, run_cluster
+from .detector import FailureDetector, PeerStatus
+from .errors import (
+    ClusterHalted,
+    FabricTimeout,
+    PeerDeadError,
+    RankKilled,
+    RetransmitExhausted,
+)
 from .fabric import Envelope, FabricStats, NetworkProfile, SimulatedFabric
 from .hierarchical import allreduce_hierarchical, hierarchical_cost, node_groups
+from .reliable import RetransmitPolicy
 
 __all__ = [
     "LogicalClock",
@@ -31,6 +40,15 @@ __all__ = [
     "Envelope",
     "Communicator",
     "run_cluster",
+    "DEFAULT_RECV_TIMEOUT",
+    "FabricTimeout",
+    "PeerDeadError",
+    "ClusterHalted",
+    "RetransmitExhausted",
+    "RankKilled",
+    "FailureDetector",
+    "PeerStatus",
+    "RetransmitPolicy",
     "ALLREDUCE_ALGORITHMS",
     "allreduce_tree",
     "allreduce_ring",

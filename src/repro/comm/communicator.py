@@ -29,15 +29,36 @@ _COLLECTIVE_TAG_BASE = 1 << 20
 _TAGS_PER_COLLECTIVE = 8
 
 
-class Communicator:
-    """Rank-local handle to the simulated cluster."""
+#: default wall-clock patience of a blocking receive (seconds)
+DEFAULT_RECV_TIMEOUT = 60.0
 
-    def __init__(self, fabric: SimulatedFabric, rank: int):
+
+class Communicator:
+    """Rank-local handle to the simulated cluster.
+
+    ``recv_timeout`` bounds every blocking receive (wall-clock seconds);
+    a peer that stays silent that long raises a typed
+    :class:`repro.comm.errors.FabricTimeout` instead of hanging the rank
+    forever.  An optional :class:`repro.comm.detector.FailureDetector`
+    is fed a heartbeat on every successful receive.
+    """
+
+    def __init__(
+        self,
+        fabric: SimulatedFabric,
+        rank: int,
+        recv_timeout: float | None = None,
+        detector=None,
+    ):
         if not 0 <= rank < fabric.size:
             raise ValueError(f"rank {rank} out of range")
         self.fabric = fabric
         self.rank = rank
         self.size = fabric.size
+        self.recv_timeout = (
+            DEFAULT_RECV_TIMEOUT if recv_timeout is None else recv_timeout
+        )
+        self.detector = detector
         self._seq = 0
 
     # -- local time --------------------------------------------------------------
@@ -47,7 +68,17 @@ class Communicator:
         return self.fabric.time_of(self.rank)
 
     def compute(self, seconds: float) -> None:
-        """Model ``seconds`` of local computation (advances the clock)."""
+        """Model ``seconds`` of local computation (advances the clock).
+
+        A straggler fault on this rank stretches the work by the plan's
+        multiplier (thermal throttling / OS jitter on one node).
+        """
+        injector = self.fabric.injector
+        if injector is not None:
+            mult = injector.compute_multiplier(self.rank)
+            if mult != 1.0:
+                injector.record_straggle((mult - 1.0) * seconds)
+                seconds *= mult
         self.fabric.clocks[self.rank].advance(seconds)
 
     # -- point-to-point --------------------------------------------------------
@@ -59,8 +90,13 @@ class Communicator:
         the transfer completes in the background — overlap primitive."""
         self.fabric.isend(self.rank, dst, payload, tag=tag)
 
-    def recv(self, src: int, tag: int = 0):
-        return self.fabric.recv(self.rank, src, tag=tag)
+    def recv(self, src: int, tag: int = 0, timeout: float | None = None):
+        """Blocking receive; ``timeout`` overrides the communicator default."""
+        effective = self.recv_timeout if timeout is None else timeout
+        payload = self.fabric.recv(self.rank, src, tag=tag, timeout=effective)
+        if self.detector is not None:
+            self.detector.observe(src, self.time)
+        return payload
 
     # -- collectives ---------------------------------------------------------------
     def _next_tag(self) -> int:
@@ -133,20 +169,27 @@ def run_cluster(
     worker: Callable[[Communicator], object],
     profile: NetworkProfile | None = None,
     timeout: float = 300.0,
+    injector=None,
+    recv_timeout: float | None = None,
 ) -> tuple[list, SimulatedFabric]:
     """Run ``worker(comm)`` on ``size`` simulated ranks (one thread each).
 
     Returns (per-rank results in rank order, the fabric — whose ``makespan``
     and ``stats`` carry the simulated time and communication volume).  Any
     rank raising propagates the first exception after all threads stop.
+
+    ``injector`` installs a :class:`repro.faults.FaultInjector` on the
+    fabric; ``recv_timeout`` bounds every blocking receive.
     """
-    fabric = SimulatedFabric(size, profile)
+    fabric = SimulatedFabric(size, profile, injector=injector)
     results: list = [None] * size
     errors: list = [None] * size
 
     def target(rank: int) -> None:
         try:
-            results[rank] = worker(Communicator(fabric, rank))
+            results[rank] = worker(
+                Communicator(fabric, rank, recv_timeout=recv_timeout)
+            )
         except BaseException as exc:  # noqa: BLE001 - propagated below
             errors[rank] = exc
 

@@ -1,0 +1,92 @@
+"""Failure detection for the simulated cluster.
+
+Real clusters layer two signals to decide a peer is gone: transport-level
+evidence (connection reset when the remote process dies) and
+silence-timeouts (no message within a heartbeat interval).  The simulated
+stack mirrors both:
+
+* the fabric's ``dead_ranks`` set is the transport signal — a crashing
+  rank's worker marks itself dead on the way down (fail-stop), exactly
+  like the kernel tearing down its sockets;
+* every delivered message doubles as a heartbeat: the communicator reports
+  successful receives here, so :meth:`silence` measures how long a peer has
+  been quiet in *simulated* time.
+
+:meth:`diagnose` combines them into a verdict.  Because the transport
+signal is shared state, every surviving rank reaches the *same* verdict for
+a crashed peer — the agreement property synchronous recovery needs (no
+rank restarts while another still waits).  A pure silence-timeout without
+transport evidence stays a ``"suspect"``: the caller decides whether to
+keep waiting (maybe a straggler) or abort the step.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from .errors import FabricTimeout
+
+__all__ = ["FailureDetector", "PeerStatus"]
+
+
+class PeerStatus:
+    """Verdict constants returned by :meth:`FailureDetector.diagnose`."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    DEAD = "dead"
+
+
+class FailureDetector:
+    """Per-rank view of which peers are alive.
+
+    Parameters
+    ----------
+    fabric:
+        The shared :class:`repro.comm.SimulatedFabric` (source of the
+        transport-level dead set).
+    rank:
+        The owning rank.
+    suspect_after:
+        Simulated seconds of silence after which a peer becomes a suspect.
+    """
+
+    def __init__(self, fabric, rank: int, suspect_after: float = 60.0):
+        if suspect_after <= 0:
+            raise ValueError("suspect_after must be positive")
+        self.fabric = fabric
+        self.rank = rank
+        self.suspect_after = suspect_after
+        self._last_heard: dict[int, float] = {}
+        self._lock = threading.Lock()
+
+    def observe(self, src: int, now: float) -> None:
+        """Record a successful receive from ``src`` at simulated ``now``."""
+        with self._lock:
+            prev = self._last_heard.get(src, 0.0)
+            if now > prev:
+                self._last_heard[src] = now
+
+    def silence(self, peer: int, now: float) -> float:
+        """Simulated seconds since ``peer`` was last heard from."""
+        with self._lock:
+            return max(0.0, now - self._last_heard.get(peer, 0.0))
+
+    def diagnose(self, peer: int, now: float | None = None) -> str:
+        """Classify ``peer``: transport evidence wins, silence makes a
+        suspect, otherwise alive."""
+        if peer in self.fabric.dead_ranks:
+            return PeerStatus.DEAD
+        if now is None:
+            now = self.fabric.time_of(self.rank)
+        if self.silence(peer, now) > self.suspect_after:
+            return PeerStatus.SUSPECT
+        return PeerStatus.ALIVE
+
+    def diagnose_timeout(self, exc: FabricTimeout) -> str:
+        """Verdict for the peer a :class:`FabricTimeout` was waiting on."""
+        return self.diagnose(exc.src)
+
+    def dead_peers(self) -> set[int]:
+        """Transport-confirmed dead ranks (identical on every survivor)."""
+        return self.fabric.dead_ranks

@@ -1,0 +1,90 @@
+"""Typed failure exceptions for the simulated communication stack.
+
+The fault-tolerance machinery distinguishes three transport-level outcomes
+that plain ``TimeoutError`` conflated:
+
+* :class:`FabricTimeout` — a ``recv`` waited its full timeout and nothing
+  arrived.  The peer may be dead, slow, or the message may have been lost;
+  the caller consults the :class:`repro.comm.detector.FailureDetector` to
+  decide.
+* :class:`PeerDeadError` — the transport *knows* the peer is gone (its
+  thread exited and tore the connection down, like a TCP RST after a
+  process crash).  Raised immediately, without burning the timeout.
+* :class:`ClusterHalted` — some rank called :meth:`SimulatedFabric.halt`
+  (the moral equivalent of ``MPI_Abort``); every blocked ``recv`` wakes and
+  raises this so the whole attempt unwinds in bounded time.
+* :class:`RetransmitExhausted` — the reliable link layer gave up on a
+  message after its bounded retry budget; the sender treats the peer as
+  unreachable.
+
+``FabricTimeout`` subclasses :class:`TimeoutError` so pre-existing callers
+that caught the generic type keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "FabricTimeout",
+    "PeerDeadError",
+    "ClusterHalted",
+    "RetransmitExhausted",
+    "RankKilled",
+]
+
+
+class FabricTimeout(TimeoutError):
+    """``recv`` timed out: no message and no transport-level diagnosis."""
+
+    def __init__(self, dst: int, src: int, tag: int, timeout: float):
+        self.dst = dst
+        self.src = src
+        self.tag = tag
+        self.timeout = timeout
+        super().__init__(
+            f"rank {dst} timed out after {timeout}s waiting for "
+            f"(src={src}, tag={tag})"
+        )
+
+
+class PeerDeadError(ConnectionError):
+    """The transport observed the peer's death (fail-stop crash)."""
+
+    def __init__(self, dst: int, src: int, tag: int = 0):
+        self.dst = dst
+        self.src = src
+        self.tag = tag
+        super().__init__(f"rank {dst}: peer rank {src} is dead")
+
+
+class ClusterHalted(RuntimeError):
+    """The fabric was halted (MPI_Abort-style) while this rank was blocked."""
+
+    def __init__(self, rank: int, reason: str = ""):
+        self.rank = rank
+        self.reason = reason
+        super().__init__(
+            f"rank {rank}: cluster halted" + (f" ({reason})" if reason else "")
+        )
+
+
+class RetransmitExhausted(ConnectionError):
+    """The reliable link layer exceeded its retry budget for one message."""
+
+    def __init__(self, src: int, dst: int, tag: int, retries: int):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.retries = retries
+        super().__init__(
+            f"rank {src}: message to rank {dst} (tag={tag}) lost after "
+            f"{retries} retransmits"
+        )
+
+
+class RankKilled(RuntimeError):
+    """Raised inside a worker when the fault plan crashes this rank."""
+
+    def __init__(self, rank: int, iteration: int):
+        self.rank = rank
+        self.iteration = iteration
+        super().__init__(f"rank {rank} killed at iteration {iteration}")

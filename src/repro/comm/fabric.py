@@ -15,6 +15,20 @@ the profiles for the paper's interconnects (Table 11) live in
 
 The fabric also keeps global message/byte counters — the quantities
 Figures 9 and 10 plot.
+
+Fault tolerance hooks (see ``docs/architecture.md``, "Failure model &
+recovery"):
+
+* an optional :class:`repro.faults.FaultInjector` prices message loss,
+  checksum-detected corruption, and delay into arrival times (reliable-link
+  retransmit semantics: values exact, time lost);
+* ``mark_dead(rank)`` is the transport-level crash notification (a dying
+  rank's connections reset); a ``recv`` from a dead peer raises
+  :class:`PeerDeadError` instead of burning its timeout;
+* ``halt()`` is ``MPI_Abort``: every blocked ``recv`` wakes with
+  :class:`ClusterHalted`, so a failed step unwinds in bounded wall time;
+* ``recv(timeout=...)`` raises the typed :class:`FabricTimeout` (a
+  ``TimeoutError`` subclass) instead of blocking forever.
 """
 
 from __future__ import annotations
@@ -26,8 +40,17 @@ from dataclasses import dataclass
 import numpy as np
 
 from .clock import LogicalClock
+from .errors import ClusterHalted, FabricTimeout, PeerDeadError
 
-__all__ = ["NetworkProfile", "FabricStats", "SimulatedFabric", "Envelope"]
+__all__ = [
+    "NetworkProfile",
+    "FabricStats",
+    "SimulatedFabric",
+    "Envelope",
+    "FabricTimeout",
+    "PeerDeadError",
+    "ClusterHalted",
+]
 
 
 @dataclass(frozen=True)
@@ -103,14 +126,18 @@ class SimulatedFabric:
     One mailbox per destination rank, keyed by (source, tag).  ``send`` is
     asynchronous-with-timing (the sender's clock advances by the transfer
     time, matching blocking MPI sends of rendezvous-sized gradient
-    messages); ``recv`` blocks the calling thread until the payload exists.
+    messages); ``recv`` blocks the calling thread until the payload exists,
+    the peer is known dead, the fabric is halted, or the timeout fires.
     """
 
-    def __init__(self, size: int, profile: NetworkProfile | None = None):
+    def __init__(self, size: int, profile: NetworkProfile | None = None,
+                 injector=None):
         if size <= 0:
             raise ValueError("size must be positive")
         self.size = size
         self.profile = profile if profile is not None else NetworkProfile.ideal()
+        #: optional :class:`repro.faults.FaultInjector` (duck-typed)
+        self.injector = injector
         self.clocks = [LogicalClock() for _ in range(size)]
         self.stats = FabricStats()
         self._mailboxes: list[dict[tuple[int, int], deque[Envelope]]] = [
@@ -118,10 +145,52 @@ class SimulatedFabric:
         ]
         self._conditions = [threading.Condition() for _ in range(size)]
         self._stats_lock = threading.Lock()
+        self._dead: set[int] = set()
+        self._halted = False
+        self._halt_reason = ""
 
     def _check_rank(self, rank: int) -> None:
         if not 0 <= rank < self.size:
             raise ValueError(f"rank {rank} out of range for size {self.size}")
+
+    # -- failure signalling ---------------------------------------------------
+    @property
+    def dead_ranks(self) -> set[int]:
+        """Ranks the transport knows have crashed (fail-stop)."""
+        return set(self._dead)
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def mark_dead(self, rank: int) -> None:
+        """Transport-level crash notification: ``rank`` will never send
+        again.  Wakes every blocked ``recv`` so waits on the dead peer fail
+        fast instead of burning their timeout."""
+        self._check_rank(rank)
+        self._dead.add(rank)
+        for cond in self._conditions:
+            with cond:
+                cond.notify_all()
+
+    def halt(self, reason: str = "") -> None:
+        """MPI_Abort: wake every blocked ``recv`` with ClusterHalted."""
+        self._halted = True
+        if reason and not self._halt_reason:
+            self._halt_reason = reason
+        for cond in self._conditions:
+            with cond:
+                cond.notify_all()
+
+    def _fault_delay(self, src: int, dst: int) -> float:
+        """Extra arrival delay from injected faults (0 when no injector).
+
+        May raise :class:`repro.comm.errors.RetransmitExhausted` in the
+        *sender* thread when the reliable link gives up on the message.
+        """
+        if self.injector is None:
+            return 0.0
+        return self.injector.decide_send(src, dst)
 
     # -- point-to-point ---------------------------------------------------------
     def isend(self, src: int, dst: int, payload, tag: int = 0) -> None:
@@ -140,21 +209,20 @@ class SimulatedFabric:
         if isinstance(payload, np.ndarray):
             payload = payload.copy()
         nbytes = payload_nbytes(payload)
+        extra = self._fault_delay(src, dst)
         t_start = self.clocks[src].advance(self.profile.alpha)
-        arrival = t_start + self.profile.beta * nbytes
+        arrival = t_start + self.profile.beta * nbytes + extra
         with self._stats_lock:
             self.stats.record(nbytes)
-        env = Envelope(payload, nbytes, arrival_time=arrival, src=src, tag=tag)
-        cond = self._conditions[dst]
-        with cond:
-            self._mailboxes[dst][(src, tag)].append(env)
-            cond.notify_all()
+        self._deliver(Envelope(payload, nbytes, arrival, src, tag), dst)
 
     def send(self, src: int, dst: int, payload, tag: int = 0) -> None:
         """Deliver ``payload`` from ``src`` to ``dst``; advances src's clock.
 
         ndarray payloads are copied so later in-place mutation by the sender
-        cannot race the receiver (value semantics, like a real wire).
+        cannot race the receiver (value semantics, like a real wire).  With
+        a fault injector installed, retransmit/backoff delays occupy the
+        sender too (stop-and-wait reliable link).
         """
         self._check_rank(src)
         self._check_rank(dst)
@@ -163,29 +231,48 @@ class SimulatedFabric:
         if isinstance(payload, np.ndarray):
             payload = payload.copy()
         nbytes = payload_nbytes(payload)
-        cost = self.profile.transfer_time(nbytes)
+        extra = self._fault_delay(src, dst)
+        cost = self.profile.transfer_time(nbytes) + extra
         t_send = self.clocks[src].advance(cost)
         with self._stats_lock:
             self.stats.record(nbytes)
-        env = Envelope(payload, nbytes, arrival_time=t_send, src=src, tag=tag)
+        self._deliver(Envelope(payload, nbytes, arrival_time=t_send, src=src,
+                               tag=tag), dst)
+
+    def _deliver(self, env: Envelope, dst: int) -> None:
         cond = self._conditions[dst]
         with cond:
-            self._mailboxes[dst][(src, tag)].append(env)
+            self._mailboxes[dst][(env.src, env.tag)].append(env)
             cond.notify_all()
 
     def recv(self, dst: int, src: int, tag: int = 0, timeout: float = 60.0):
-        """Blocking receive; merges the arrival time into dst's clock."""
+        """Blocking receive; merges the arrival time into dst's clock.
+
+        Raises :class:`FabricTimeout` after ``timeout`` wall seconds,
+        :class:`PeerDeadError` as soon as ``src`` is known dead (in-flight
+        messages are still drained first), and :class:`ClusterHalted` if
+        any rank aborted the job.
+        """
         self._check_rank(src)
         self._check_rank(dst)
         cond = self._conditions[dst]
         key = (src, tag)
+        box = self._mailboxes[dst]
+
+        def ready() -> bool:
+            return len(box[key]) > 0 or self._halted or src in self._dead
+
         with cond:
-            ok = cond.wait_for(lambda: len(self._mailboxes[dst][key]) > 0, timeout)
-            if not ok:
-                raise TimeoutError(
-                    f"rank {dst} timed out waiting for (src={src}, tag={tag})"
-                )
-            env = self._mailboxes[dst][key].popleft()
+            ok = cond.wait_for(ready, timeout)
+            if self._halted:
+                raise ClusterHalted(dst, self._halt_reason)
+            if len(box[key]) > 0:
+                env = box[key].popleft()
+            elif src in self._dead:
+                raise PeerDeadError(dst, src, tag)
+            else:
+                assert not ok
+                raise FabricTimeout(dst, src, tag, timeout)
         self.clocks[dst].merge(env.arrival_time)
         return env.payload
 

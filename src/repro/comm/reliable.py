@@ -1,0 +1,60 @@
+"""Reliable-link retransmission policy (bounded retry, exponential backoff).
+
+The simulated fabric models message loss the way a reliable transport
+(TCP, or verbs with retry_cnt) experiences it: a lost or corrupted frame is
+*invisible to the application* but costs time — an ack-timeout fires, the
+sender backs off exponentially and retransmits, and only after a bounded
+number of rounds does the link declare the peer unreachable.
+
+Because ranks here are single-threaded (a blocked sender cannot service
+acks), the retry schedule is resolved analytically at send time: the
+injector decides deterministically how many rounds the message loses, the
+policy prices the delay, and the envelope is delivered with the
+correspondingly later arrival time.  Values are therefore exact (retransmit
+semantics) while time-to-accuracy degrades measurably — exactly the
+quantity the fault sweep reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["RetransmitPolicy"]
+
+
+@dataclass(frozen=True)
+class RetransmitPolicy:
+    """Bounded-retry schedule for one lossy link.
+
+    Parameters
+    ----------
+    ack_timeout:
+        Simulated seconds the sender waits for an ack before the first
+        retransmit (one round-trip estimate plus slack).
+    backoff:
+        Multiplier applied to the wait after every failed round
+        (``ack_timeout * backoff**i`` before retransmit ``i``).
+    max_retries:
+        Retransmits attempted before the link declares the peer
+        unreachable (:class:`repro.comm.errors.RetransmitExhausted`).
+    """
+
+    ack_timeout: float = 1e-4
+    backoff: float = 2.0
+    max_retries: int = 8
+
+    def __post_init__(self):
+        if self.ack_timeout <= 0:
+            raise ValueError("ack_timeout must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+    def delay_before_retry(self, attempt: int) -> float:
+        """Seconds waited before retransmit number ``attempt`` (0-based)."""
+        return self.ack_timeout * self.backoff**attempt
+
+    def total_delay(self, lost_rounds: int) -> float:
+        """Extra simulated seconds added by ``lost_rounds`` lost frames."""
+        return sum(self.delay_before_retry(i) for i in range(lost_rounds))

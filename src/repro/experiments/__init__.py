@@ -5,6 +5,7 @@ them from the command line with ``python -m repro.experiments <name>``.
 """
 
 from . import (
+    fault_sweep,
     scorecard,
     figure1,
     figure2,
@@ -58,6 +59,8 @@ EXPERIMENTS = {
     "figure10": figure10.run,
     # bonus: the analytic scorecard (not a paper table; a one-screen summary)
     "scorecard": scorecard.run,
+    # bonus: failure-rate x batch-size fault-tolerance sweep
+    "fault_sweep": fault_sweep.run,
 }
 
 __all__ = [

@@ -1,0 +1,115 @@
+"""Deterministic fault injection over the simulated fabric.
+
+The injector sits inside :class:`repro.comm.fabric.SimulatedFabric` as a
+send hook: for every message it decides — deterministically, from the plan
+seed and a per-channel message counter — whether the frame is lost,
+corrupted (checksum-detected, hence also lost), or delayed, and prices the
+reliable-link recovery (ack-timeout + exponential backoff + retransmit)
+into the message's arrival time.  Determinism is per *channel*: the n-th
+message from rank ``src`` to rank ``dst`` always experiences the same
+fault, regardless of thread interleaving, so a seeded run is exactly
+reproducible.
+
+Rank-level faults (stragglers, crashes) are queried by the communicator and
+the training loop respectively.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import defaultdict
+
+import numpy as np
+
+from ..comm.errors import RetransmitExhausted
+from .plan import FaultPlan
+from .stats import FaultStats
+
+__all__ = ["FaultInjector"]
+
+
+class FaultInjector:
+    """Turns a :class:`FaultPlan` into per-message and per-rank decisions."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.stats = FaultStats()
+        # per-(src, dst) message counters; each channel is written only by
+        # the src thread, but defaultdict growth needs a lock
+        self._counters: dict[tuple[int, int], int] = defaultdict(int)
+        self._counter_lock = threading.Lock()
+        self._fired_kills: set[int] = set()
+        self._kill_lock = threading.Lock()
+
+    # -- per-message faults -----------------------------------------------------
+    def _channel_rng(self, src: int, dst: int) -> np.random.Generator:
+        with self._counter_lock:
+            n = self._counters[(src, dst)]
+            self._counters[(src, dst)] = n + 1
+        return np.random.default_rng((self.plan.seed, src, dst, n))
+
+    def decide_send(self, src: int, dst: int) -> float:
+        """Extra arrival delay for this message, in simulated seconds.
+
+        Raises :class:`RetransmitExhausted` if the frame is lost more times
+        than the retransmit policy allows (the link gives up on the peer).
+        """
+        plan = self.plan
+        if not plan.lossy:
+            return 0.0
+        rng = self._channel_rng(src, dst)
+        policy = plan.retransmit
+        extra = 0.0
+
+        drop_rounds = corrupt_rounds = 0
+        p_loss = plan.drop_prob + plan.corrupt_prob
+        if p_loss > 0.0:
+            while True:
+                u = rng.random()
+                if u >= p_loss:
+                    break  # frame delivered, ack returns
+                if drop_rounds + corrupt_rounds > policy.max_retries:
+                    self.stats.count_loss(
+                        drop_rounds, corrupt_rounds, policy.total_delay(
+                            drop_rounds + corrupt_rounds
+                        )
+                    )
+                    raise RetransmitExhausted(
+                        src, dst, 0, drop_rounds + corrupt_rounds
+                    )
+                if u < plan.drop_prob:
+                    drop_rounds += 1
+                else:
+                    corrupt_rounds += 1
+        lost = drop_rounds + corrupt_rounds
+        if lost:
+            delay = policy.total_delay(lost)
+            self.stats.count_loss(drop_rounds, corrupt_rounds, delay)
+            extra += delay
+
+        if plan.delay_prob > 0.0 and rng.random() < plan.delay_prob:
+            self.stats.count_delay(plan.delay_seconds)
+            extra += plan.delay_seconds
+        return extra
+
+    # -- per-rank faults --------------------------------------------------------
+    def compute_multiplier(self, rank: int) -> float:
+        """Straggler slowdown for ``rank`` (1.0 = healthy)."""
+        return float(self.plan.stragglers.get(rank, 1.0))
+
+    def record_straggle(self, extra_seconds: float) -> None:
+        self.stats.count_straggle(extra_seconds)
+
+    def should_kill(self, rank: int, iteration: int) -> bool:
+        """True exactly once per rank, at the first iteration >= the plan's
+        kill point (``>=`` so a post-restore replay still fires a pending
+        kill that lands inside the replayed window)."""
+        target = self.plan.kills.get(rank)
+        if target is None or iteration < target:
+            return False
+        with self._kill_lock:
+            if rank in self._fired_kills:
+                return False
+            self._fired_kills.add(rank)
+        self.stats.count_kill()
+        return True

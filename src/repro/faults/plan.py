@@ -1,0 +1,111 @@
+"""Declarative, seedable fault plans.
+
+A :class:`FaultPlan` is pure data: *what* can go wrong, with what
+probability or at what point.  The :class:`repro.faults.injector.FaultInjector`
+turns a plan into deterministic per-message / per-rank decisions; the same
+plan + seed always yields the same fault sequence regardless of thread
+scheduling, which is what makes fault experiments reproducible.
+
+Fault taxonomy (mirrors what production runs at the paper's scale hit):
+
+==============  ============================================================
+fault           model
+==============  ============================================================
+message loss    each message dropped i.i.d. with ``drop_prob``; the reliable
+                link layer retransmits with exponential backoff, so values
+                are preserved but time is lost.
+message delay   with ``delay_prob`` a message's arrival is pushed back by
+                ``delay_seconds`` (congestion / adaptive routing).
+corruption      with ``corrupt_prob`` the payload's frame is damaged; the
+                checksum catches it and the link treats it as a loss.
+straggler       ``stragglers[rank]`` multiplies that rank's compute time
+                (thermal throttling, OS jitter, a slow KNL tile).
+crash           ``kills[rank]`` is the global training iteration at whose
+                start the rank fail-stops (process dies, never speaks
+                again).
+==============  ============================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..comm.reliable import RetransmitPolicy
+
+__all__ = ["FaultPlan"]
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything the injector needs to decide the fault sequence.
+
+    Probabilities are per *message*; ``stragglers`` and ``kills`` are keyed
+    by rank id within the current world (after an elastic restart the
+    surviving ranks are renumbered ``0..P'−1`` and consumed kills do not
+    re-fire).
+    """
+
+    seed: int = 0
+    drop_prob: float = 0.0
+    delay_prob: float = 0.0
+    delay_seconds: float = 0.0
+    corrupt_prob: float = 0.0
+    stragglers: Mapping[int, float] = field(default_factory=dict)
+    kills: Mapping[int, int] = field(default_factory=dict)
+    retransmit: RetransmitPolicy = field(default_factory=RetransmitPolicy)
+
+    def __post_init__(self):
+        for name in ("drop_prob", "delay_prob", "corrupt_prob"):
+            p = getattr(self, name)
+            if not 0.0 <= p < 1.0:
+                raise ValueError(f"{name} must be in [0, 1); got {p}")
+        if self.delay_seconds < 0:
+            raise ValueError("delay_seconds must be non-negative")
+        for rank, mult in self.stragglers.items():
+            if mult < 1.0:
+                raise ValueError(
+                    f"straggler multiplier for rank {rank} must be >= 1 "
+                    f"(got {mult}); use the perfmodel for faster ranks"
+                )
+        for rank, iteration in self.kills.items():
+            if rank < 0 or iteration < 0:
+                raise ValueError(
+                    f"kills maps rank -> iteration, both non-negative "
+                    f"(got {rank} -> {iteration})"
+                )
+
+    @property
+    def lossy(self) -> bool:
+        """True if any per-message fault can fire (loss/delay/corruption)."""
+        return (
+            self.drop_prob > 0.0 or self.delay_prob > 0.0 or self.corrupt_prob > 0.0
+        )
+
+    @property
+    def any_faults(self) -> bool:
+        return self.lossy or bool(self.stragglers) or bool(self.kills)
+
+    def without_rank(self, dead: set[int], world: int) -> "FaultPlan":
+        """Plan for the surviving world after ``dead`` ranks crashed.
+
+        Survivors keep their relative order and are renumbered densely;
+        straggler multipliers follow the rank they were attached to, and
+        already-fired kills are dropped (a rank dies once).
+        """
+        survivors = [r for r in range(world) if r not in dead]
+        renumber = {old: new for new, old in enumerate(survivors)}
+        return FaultPlan(
+            seed=self.seed,
+            drop_prob=self.drop_prob,
+            delay_prob=self.delay_prob,
+            delay_seconds=self.delay_seconds,
+            corrupt_prob=self.corrupt_prob,
+            stragglers={
+                renumber[r]: m for r, m in self.stragglers.items() if r in renumber
+            },
+            kills={
+                renumber[r]: i for r, i in self.kills.items() if r in renumber
+            },
+            retransmit=self.retransmit,
+        )

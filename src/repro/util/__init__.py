@@ -1,12 +1,13 @@
 """``repro.util`` — checkpointing, profiling, and ascii plotting helpers."""
 
-from .checkpoint import load_checkpoint, save_checkpoint
+from .checkpoint import load_checkpoint, load_rng_state, save_checkpoint
 from .plotting import ascii_plot, sparkline
 from .timing import LayerProfiler, Timer
 
 __all__ = [
     "save_checkpoint",
     "load_checkpoint",
+    "load_rng_state",
     "Timer",
     "LayerProfiler",
     "ascii_plot",

@@ -5,12 +5,19 @@ trainer restore into cluster replicas and vice versa:
 
 * ``param/<name>``      — parameter values,
 * ``opt/<i>/<key>``     — per-parameter optimiser state arrays,
-* ``meta/…``            — step counter and scalar state entries.
+* ``meta/…``            — step counter, scalar state entries, and an
+  optional serialised RNG state (``meta/rng_state``) so a resumed run can
+  continue its random stream bit-identically.
+
+Writes are *atomic*: the archive is written to ``<path>.tmp`` and renamed
+into place with :func:`os.replace`, so a crash mid-save (the exact scenario
+the fault-tolerant cluster trainer recovers from) can never leave a
+truncated ``.npz`` that poisons the subsequent restore.
 """
 
 from __future__ import annotations
 
-import io
+import json
 import os
 
 import numpy as np
@@ -18,7 +25,17 @@ import numpy as np
 from ..core.optimizer import Optimizer
 from ..nn.layers.base import Module
 
-__all__ = ["save_checkpoint", "load_checkpoint"]
+__all__ = ["save_checkpoint", "load_checkpoint", "load_rng_state"]
+
+
+def _encode_rng_state(rng: np.random.Generator) -> np.ndarray:
+    """Serialise a Generator's bit-generator state into a uint8 array."""
+    payload = json.dumps(rng.bit_generator.state).encode("utf-8")
+    return np.frombuffer(payload, dtype=np.uint8).copy()
+
+
+def _decode_rng_state(arr: np.ndarray) -> dict:
+    return json.loads(arr.tobytes().decode("utf-8"))
 
 
 def save_checkpoint(
@@ -26,30 +43,56 @@ def save_checkpoint(
     model: Module,
     optimizer: Optimizer | None = None,
     iteration: int = 0,
+    rng: np.random.Generator | None = None,
 ) -> None:
-    """Write model (and optionally optimiser) state to ``path`` (.npz)."""
+    """Atomically write model (and optionally optimiser) state to ``path``.
+
+    ``rng`` snapshots a live random generator (e.g. a data-augmentation
+    stream) into ``meta/rng_state``; restore it with
+    :func:`load_checkpoint`'s ``rng`` argument or :func:`load_rng_state`.
+    """
     arrays: dict[str, np.ndarray] = {}
     for name, value in model.state_dict().items():
         if not name:
             raise ValueError("all parameters must be named (call assign_names)")
         arrays[f"param/{name}"] = value
     arrays["meta/iteration"] = np.array(iteration, dtype=np.int64)
+    if rng is not None:
+        arrays["meta/rng_state"] = _encode_rng_state(rng)
     if optimizer is not None:
         snap = optimizer.state_dict()
         arrays["meta/step_count"] = np.array(snap["step_count"], dtype=np.int64)
         for i, st in enumerate(snap["state"]):
             for key, val in st.items():
                 arrays[f"opt/{i}/{key}"] = np.asarray(val)
-    np.savez_compressed(os.fspath(path), **arrays)
+
+    # write-then-rename: readers either see the old complete checkpoint or
+    # the new complete one, never a torn write
+    final = os.fspath(path)
+    if not final.endswith(".npz"):  # np.savez's extension convention
+        final += ".npz"
+    tmp = final + ".tmp"
+    try:
+        with open(tmp, "wb") as fh:
+            np.savez_compressed(fh, **arrays)
+        os.replace(tmp, final)
+    finally:
+        if os.path.exists(tmp):
+            os.unlink(tmp)
 
 
 def load_checkpoint(
     path: str | os.PathLike,
     model: Module,
     optimizer: Optimizer | None = None,
+    rng: np.random.Generator | None = None,
 ) -> int:
     """Restore state saved by :func:`save_checkpoint`; returns the saved
-    iteration counter.  Parameter names/shapes must match the model."""
+    iteration counter.  Parameter names/shapes must match the model.
+
+    Passing ``rng`` restores the saved ``meta/rng_state`` into it in place
+    (raises ``KeyError`` if the checkpoint carries none).
+    """
     with np.load(os.fspath(path), allow_pickle=False) as data:
         params = {
             key[len("param/"):]: data[key]
@@ -58,6 +101,10 @@ def load_checkpoint(
         }
         model.load_state_dict(params)
         iteration = int(data["meta/iteration"])
+        if rng is not None:
+            if "meta/rng_state" not in data.files:
+                raise KeyError("checkpoint has no RNG state")
+            rng.bit_generator.state = _decode_rng_state(data["meta/rng_state"])
         if optimizer is not None:
             if "meta/step_count" not in data.files:
                 raise KeyError("checkpoint has no optimiser state")
@@ -74,3 +121,15 @@ def load_checkpoint(
                 {"step_count": int(data["meta/step_count"]), "state": state}
             )
     return iteration
+
+
+def load_rng_state(path: str | os.PathLike) -> np.random.Generator | None:
+    """Reconstruct the generator whose state a checkpoint carries
+    (``None`` if it has no ``meta/rng_state``)."""
+    with np.load(os.fspath(path), allow_pickle=False) as data:
+        if "meta/rng_state" not in data.files:
+            return None
+        state = _decode_rng_state(data["meta/rng_state"])
+    bitgen = getattr(np.random, state["bit_generator"])()
+    bitgen.state = state
+    return np.random.Generator(bitgen)

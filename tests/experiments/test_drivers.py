@@ -44,7 +44,7 @@ class TestRegistry:
     def test_all_tables_and_figures_covered(self):
         expected = {f"table{i}" for i in range(1, 13)} | {
             f"figure{i}" for i in list(range(1, 11))
-        } | {"scorecard"}
+        } | {"scorecard", "fault_sweep"}
         assert set(EXPERIMENTS) == expected
 
     def test_scorecard_all_green(self):

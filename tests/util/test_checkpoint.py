@@ -1,11 +1,14 @@
-"""Checkpoint save/load tests."""
+"""Checkpoint save/load tests: round-trips for every optimiser,
+atomic-write behaviour, and RNG-state serialisation."""
+
+import os
 
 import numpy as np
 import pytest
 
-from repro.core import LARS, SGD, Adam, ConstantLR, Trainer
+from repro.core import LAMB, LARS, SGD, Adam, ConstantLR, Trainer
 from repro.nn.models import micro_resnet, mlp
-from repro.util import load_checkpoint, save_checkpoint
+from repro.util import load_checkpoint, load_rng_state, save_checkpoint
 
 
 def trained_model_and_opt(opt_cls=SGD, steps=3, **opt_kw):
@@ -33,12 +36,16 @@ def test_model_roundtrip(tmp_path):
 
 
 @pytest.mark.parametrize("opt_cls,kw", [
-    (SGD, {"momentum": 0.9, "weight_decay": 0.0}),
-    (LARS, {"trust_coefficient": 0.01}),
-    (Adam, {}),
+    (SGD, {"momentum": 0.9, "weight_decay": 0.0005}),
+    (LARS, {"trust_coefficient": 0.01, "momentum": 0.9}),
+    (LAMB, {"weight_decay": 0.0005}),
+    (Adam, {"weight_decay": 0.0005}),
 ])
-def test_resume_continues_identically(tmp_path, opt_cls, kw):
-    """Train 3 steps, checkpoint, train 2 more; vs restore + 2 steps."""
+def test_resume_continues_bit_identically(tmp_path, opt_cls, kw):
+    """Train 3 steps, checkpoint, train 2 more; vs restore + 2 steps.
+    The restored run must reproduce the uninterrupted one bit for bit —
+    any drift means optimiser state (momentum/Adam moments/step count)
+    leaked through the round-trip."""
     model, opt, trainer, (x, y) = trained_model_and_opt(opt_cls, **kw)
     path = tmp_path / "ckpt.npz"
     save_checkpoint(path, model, opt, iteration=trainer.iteration)
@@ -54,7 +61,7 @@ def test_resume_continues_identically(tmp_path, opt_cls, kw):
     for _ in range(2):
         trainer2.train_step(x, y)
     for k, v in expected.items():
-        assert np.allclose(model2.state_dict()[k], v, atol=1e-12)
+        np.testing.assert_array_equal(model2.state_dict()[k], v)
 
 
 def test_model_only_checkpoint(tmp_path):
@@ -84,3 +91,89 @@ def test_shape_mismatch_rejected(tmp_path):
     wrong = mlp(6, [16], 3)
     with pytest.raises((ValueError, KeyError)):
         load_checkpoint(path, wrong)
+
+
+class TestAtomicWrite:
+    def test_no_tmp_file_left_behind(self, tmp_path):
+        model, *_ = trained_model_and_opt()
+        save_checkpoint(tmp_path / "ckpt.npz", model)
+        assert sorted(os.listdir(tmp_path)) == ["ckpt.npz"]
+
+    def test_npz_extension_appended(self, tmp_path):
+        # np.savez's extension convention must survive the tmp+rename path
+        model, *_ = trained_model_and_opt()
+        save_checkpoint(tmp_path / "ckpt", model)
+        assert (tmp_path / "ckpt.npz").exists()
+
+    def test_crashed_save_leaves_old_checkpoint_intact(
+        self, tmp_path, monkeypatch
+    ):
+        """A failure mid-write must neither clobber the previous checkpoint
+        nor leave a torn ``.tmp`` on disk."""
+        model, opt, trainer, _ = trained_model_and_opt()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, opt, iteration=trainer.iteration)
+        before = path.read_bytes()
+
+        def torn_write(fh, **arrays):
+            fh.write(b"\x00" * 16)  # partial garbage, then die
+            raise OSError("disk full")
+
+        monkeypatch.setattr(np, "savez_compressed", torn_write)
+        with pytest.raises(OSError, match="disk full"):
+            save_checkpoint(path, model, opt, iteration=99)
+        monkeypatch.undo()
+
+        assert path.read_bytes() == before  # old checkpoint untouched
+        assert not any(n.endswith(".tmp") for n in os.listdir(tmp_path))
+        fresh = mlp(6, [8], 3, seed=7)
+        assert load_checkpoint(path, fresh) == 3  # still loadable
+
+    def test_overwrite_is_all_or_nothing(self, tmp_path):
+        model, opt, trainer, _ = trained_model_and_opt()
+        path = tmp_path / "ckpt.npz"
+        save_checkpoint(path, model, opt, iteration=1)
+        save_checkpoint(path, model, opt, iteration=2)
+        fresh = mlp(6, [8], 3, seed=7)
+        assert load_checkpoint(path, fresh, SGD(fresh.parameters())) == 2
+
+    def test_unnamed_parameters_rejected(self, tmp_path):
+        model = mlp(6, [8], 3, seed=1)
+        for p in model.parameters():
+            p.name = ""
+        with pytest.raises(ValueError, match="named"):
+            save_checkpoint(tmp_path / "c.npz", model)
+
+
+class TestRngState:
+    def test_rng_round_trip_continues_stream(self, tmp_path):
+        model, *_ = trained_model_and_opt()
+        rng = np.random.default_rng(42)
+        rng.normal(size=100)  # advance the stream
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, model, rng=rng)
+        expected = rng.normal(size=10)
+
+        restored = np.random.default_rng(0)
+        load_checkpoint(path, mlp(6, [8], 3, seed=1), rng=restored)
+        np.testing.assert_array_equal(restored.normal(size=10), expected)
+
+    def test_load_rng_state_reconstructs_generator(self, tmp_path):
+        model, *_ = trained_model_and_opt()
+        rng = np.random.default_rng(7)
+        rng.integers(0, 100, size=33)
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, model, rng=rng)
+        expected = rng.integers(0, 100, size=5)
+
+        clone = load_rng_state(path)
+        np.testing.assert_array_equal(clone.integers(0, 100, size=5), expected)
+
+    def test_checkpoint_without_rng(self, tmp_path):
+        model, *_ = trained_model_and_opt()
+        path = tmp_path / "c.npz"
+        save_checkpoint(path, model)
+        assert load_rng_state(path) is None
+        with pytest.raises(KeyError):
+            load_checkpoint(path, mlp(6, [8], 3, seed=1),
+                            rng=np.random.default_rng(0))
