@@ -28,11 +28,11 @@ def train_with_aug(aug: str, epochs: int = 20, seed: int = 2) -> float:
     opt = SGD(model.parameters(), momentum=0.9, weight_decay=0.0005)
     loss_fn = SoftmaxCrossEntropy()
     loader = BatchLoader(_DS.x_train, _DS.y_train, batch_size=32,
-                         augment=aug, seed=seed)
+                         augment=aug, seed=seed, auto_advance=False)
     best = 0.0
     with np.errstate(all="ignore"):
-        for _ in range(epochs):
-            for xb, yb in loader:
+        for batches in loader.epochs(epochs):
+            for xb, yb in batches:
                 model.train()
                 opt.zero_grad()
                 logits = model.forward(xb)

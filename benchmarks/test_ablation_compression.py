@@ -6,7 +6,6 @@ the same model on a 4-rank simulated cluster under both regimes and compares
 wire bytes and final accuracy.
 """
 
-import numpy as np
 
 from repro.cluster import (
     NoCompression,

@@ -5,7 +5,6 @@ shows the usable band is wide (an order of magnitude) — the robustness that
 made LARS practical — while extreme values degrade.
 """
 
-import numpy as np
 
 from repro.experiments.proxy import (
     RESNET_BASE_BATCH,

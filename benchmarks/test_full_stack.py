@@ -9,7 +9,6 @@ and the result must (a) match the serial memoised proxy run exactly
 analytic α-β-γ prediction for the same configuration.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import SyncSGDConfig, train_sync_sgd

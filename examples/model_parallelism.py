@@ -63,7 +63,7 @@ def main() -> None:
     params = IN * HIDDEN + HIDDEN + HIDDEN * OUT + OUT
     data_parallel_bytes = params * 8  # one gradient allreduce, ~|W|
     activations_bytes = BATCH * OUT * 8 * (WORLD - 1)  # row-layer reduction
-    print(f"\nper-iteration communication, this network:")
+    print("\nper-iteration communication, this network:")
     print(f"  data parallelism  ~ |W|        = {data_parallel_bytes / 1e3:8.1f} KB")
     print(f"  model parallelism ~ activations = {activations_bytes / 1e3:8.1f} KB")
     print("For ImageNet-scale inputs the activations term stays small per "

@@ -1,0 +1,62 @@
+"""Continuous microbenchmarks for the training hot path.
+
+``repro bench run`` times every registered benchmark (pinned problem
+sizes, fixed seeds, warmup + repeated timed runs, median ± MAD) and writes
+one versioned ``BENCH_<area>.json`` per area; ``repro bench compare``
+diffs two result sets against a relative-regression threshold and exits
+nonzero when anything slowed past it.  CI runs the quick mode on every
+push against the checked-in ``benchmarks/baseline/`` files (see
+``docs/benchmarking.md``).
+"""
+
+from .compare import (
+    DEFAULT_MIN_SECONDS,
+    Comparison,
+    compare_dirs,
+    compare_payloads,
+    format_report,
+)
+from .harness import (
+    AREAS,
+    REGISTRY,
+    Benchmark,
+    BenchResult,
+    load_suites,
+    register,
+    run_benchmark,
+    run_selected,
+    select,
+)
+from .schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    area_filename,
+    build_payload,
+    load_payload,
+    validate_payload,
+    write_area_files,
+)
+
+__all__ = [
+    "AREAS",
+    "REGISTRY",
+    "Benchmark",
+    "BenchResult",
+    "register",
+    "load_suites",
+    "select",
+    "run_benchmark",
+    "run_selected",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "area_filename",
+    "build_payload",
+    "write_area_files",
+    "load_payload",
+    "validate_payload",
+    "DEFAULT_MIN_SECONDS",
+    "Comparison",
+    "compare_payloads",
+    "compare_dirs",
+    "format_report",
+]

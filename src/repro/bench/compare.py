@@ -1,0 +1,152 @@
+"""Regression gate: diff two sets of ``BENCH_<area>.json`` files.
+
+``compare`` answers one question per benchmark: did the median slow down by
+more than ``threshold``× relative to the baseline?  Medians below
+``min_seconds`` are compared against the floor instead of their raw value —
+sub-noise microbenchmarks (a few microseconds) would otherwise trip the
+gate on scheduler jitter alone.
+
+Benchmarks present on only one side are reported (``added``/``removed``)
+but never fail the gate; the set of benchmarks is expected to grow.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+from dataclasses import dataclass
+
+from .schema import load_payload
+
+__all__ = ["Comparison", "compare_payloads", "compare_dirs", "format_report"]
+
+#: medians below this are clamped before the ratio test (seconds)
+DEFAULT_MIN_SECONDS = 50e-6
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Verdict for one benchmark name."""
+
+    name: str
+    area: str
+    baseline_median_s: float | None
+    new_median_s: float | None
+    threshold: float
+
+    @property
+    def ratio(self) -> float | None:
+        if not self.baseline_median_s or self.new_median_s is None:
+            return None
+        return self.new_median_s / self.baseline_median_s
+
+    @property
+    def status(self) -> str:
+        if self.baseline_median_s is None:
+            return "added"
+        if self.new_median_s is None:
+            return "removed"
+        if self.new_median_s > self.threshold * self.baseline_median_s:
+            return "regression"
+        if self.new_median_s * self.threshold < self.baseline_median_s:
+            return "improved"
+        return "ok"
+
+
+def compare_payloads(
+    baseline: dict,
+    new: dict,
+    threshold: float,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> list[Comparison]:
+    """Compare two same-area payloads benchmark-by-benchmark."""
+    if baseline["area"] != new["area"]:
+        raise ValueError(
+            f"area mismatch: baseline {baseline['area']!r} vs new {new['area']!r}"
+        )
+    area = new["area"]
+    comparisons = []
+    names = sorted(set(baseline["results"]) | set(new["results"]))
+    for name in names:
+        base_entry = baseline["results"].get(name)
+        new_entry = new["results"].get(name)
+        base_median = None if base_entry is None else max(base_entry["median_s"], min_seconds)
+        new_median = None if new_entry is None else max(new_entry["median_s"], min_seconds)
+        comparisons.append(
+            Comparison(
+                name=name,
+                area=area,
+                baseline_median_s=base_median,
+                new_median_s=new_median,
+                threshold=threshold,
+            )
+        )
+    return comparisons
+
+
+def _collect(path: str) -> dict[str, str]:
+    """Map area -> file path for a directory (or a single result file)."""
+    if os.path.isdir(path):
+        files = sorted(glob.glob(os.path.join(path, "BENCH_*.json")))
+    else:
+        files = [path]
+    if not files:
+        raise FileNotFoundError(f"no BENCH_*.json files under {path!r}")
+    return {load_payload(f)["area"]: f for f in files}
+
+
+def compare_dirs(
+    baseline_path: str,
+    new_path: str,
+    threshold: float,
+    min_seconds: float = DEFAULT_MIN_SECONDS,
+) -> list[Comparison]:
+    """Compare every common area between two directories (or files).
+
+    Areas present on only one side contribute ``added``/``removed`` entries
+    for each of their benchmarks, mirroring the per-benchmark rule.
+    """
+    baseline_files = _collect(baseline_path)
+    new_files = _collect(new_path)
+    comparisons: list[Comparison] = []
+    for area in sorted(set(baseline_files) | set(new_files)):
+        base = baseline_files.get(area)
+        new = new_files.get(area)
+        if base is not None and new is not None:
+            comparisons.extend(
+                compare_payloads(load_payload(base), load_payload(new), threshold, min_seconds)
+            )
+            continue
+        payload = load_payload(base or new)
+        for name in sorted(payload["results"]):
+            median = max(payload["results"][name]["median_s"], min_seconds)
+            comparisons.append(
+                Comparison(
+                    name=name,
+                    area=area,
+                    baseline_median_s=median if base else None,
+                    new_median_s=median if new else None,
+                    threshold=threshold,
+                )
+            )
+    return comparisons
+
+
+def format_report(comparisons: list[Comparison]) -> str:
+    """Human-readable table, regressions first."""
+    order = {"regression": 0, "improved": 1, "ok": 2, "added": 3, "removed": 4}
+    rows = sorted(comparisons, key=lambda c: (order[c.status], c.name))
+    lines = [
+        f"{'benchmark':<36}{'baseline':>12}{'new':>12}{'ratio':>8}  status",
+        "-" * 76,
+    ]
+    for c in rows:
+        base = "-" if c.baseline_median_s is None else f"{c.baseline_median_s * 1e3:9.3f}ms"
+        new = "-" if c.new_median_s is None else f"{c.new_median_s * 1e3:9.3f}ms"
+        ratio = "-" if c.ratio is None else f"{c.ratio:6.2f}x"
+        lines.append(f"{c.name:<36}{base:>12}{new:>12}{ratio:>8}  {c.status}")
+    n_reg = sum(1 for c in comparisons if c.status == "regression")
+    n_imp = sum(1 for c in comparisons if c.status == "improved")
+    lines.append("-" * 76)
+    lines.append(f"{len(comparisons)} compared, {n_reg} regression(s), {n_imp} improved")
+    return "\n".join(lines)

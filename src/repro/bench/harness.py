@@ -1,0 +1,171 @@
+"""Microbenchmark harness: registration, execution, robust statistics.
+
+The paper's headline claim is wall-clock speed, so per-iteration cost is a
+first-class, continuously-tracked quantity here (the discipline Goyal et
+al. 2017 and Akiba et al. 2017 apply to large-batch training engineering).
+Every benchmark pins its problem size and seeds at registration time, runs
+``warmup`` untimed iterations followed by ``repeats`` timed ones, and
+reports median ± MAD — robust to the one-off scheduler hiccups that make
+mean ± std useless on shared CI hardware.
+
+A benchmark is a *setup* callable returning the closure to time::
+
+    @register("conv2d.fwd.k3s1p1", area="nn", params={"batch": 32})
+    def _bench():
+        layer, x = ...   # build once, outside the timed region
+        return lambda: layer.forward(x)
+
+Suites live in :mod:`repro.bench.suites`; areas map one-to-one onto the
+``BENCH_<area>.json`` result files.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..util.timing import measure, median, median_abs_deviation
+
+__all__ = [
+    "Benchmark",
+    "BenchResult",
+    "REGISTRY",
+    "register",
+    "load_suites",
+    "select",
+    "run_benchmark",
+    "run_selected",
+]
+
+#: registered benchmark areas, in file/report order
+AREAS = ("nn", "core", "comm", "cluster", "data")
+
+
+@dataclass(frozen=True)
+class Benchmark:
+    """One registered microbenchmark (pinned problem, fixed seeds)."""
+
+    name: str
+    area: str
+    setup: Callable[[], Callable[[], object]]
+    params: dict = field(default_factory=dict)
+    repeats: int = 20
+    warmup: int = 3
+    quick_repeats: int = 5
+    quick_warmup: int = 1
+
+
+@dataclass
+class BenchResult:
+    """Timed samples plus the robust summary the JSON schema records."""
+
+    name: str
+    area: str
+    params: dict
+    samples: list[float]
+    warmup: int
+
+    @property
+    def median_s(self) -> float:
+        return median(self.samples)
+
+    @property
+    def mad_s(self) -> float:
+        return median_abs_deviation(self.samples)
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def min_s(self) -> float:
+        return min(self.samples)
+
+    @property
+    def max_s(self) -> float:
+        return max(self.samples)
+
+
+REGISTRY: dict[str, Benchmark] = {}
+
+
+def register(
+    name: str,
+    area: str,
+    params: dict | None = None,
+    repeats: int = 20,
+    warmup: int = 3,
+    quick_repeats: int = 5,
+    quick_warmup: int = 1,
+):
+    """Decorator registering a setup callable under ``name``/``area``."""
+    if area not in AREAS:
+        raise ValueError(f"unknown area {area!r}; expected one of {AREAS}")
+
+    def decorator(setup: Callable[[], Callable[[], object]]):
+        if name in REGISTRY:
+            raise ValueError(f"benchmark {name!r} registered twice")
+        REGISTRY[name] = Benchmark(
+            name=name,
+            area=area,
+            setup=setup,
+            params=dict(params or {}),
+            repeats=repeats,
+            warmup=warmup,
+            quick_repeats=quick_repeats,
+            quick_warmup=quick_warmup,
+        )
+        return setup
+
+    return decorator
+
+
+def load_suites() -> None:
+    """Import every suite module so its ``@register`` calls run."""
+    from . import suites  # noqa: F401  (import populates REGISTRY)
+
+
+def select(areas: list[str] | None = None, pattern: str | None = None) -> list[Benchmark]:
+    """Registered benchmarks filtered by area list and fnmatch pattern."""
+    load_suites()
+    chosen = []
+    for bench in REGISTRY.values():
+        if areas and bench.area not in areas:
+            continue
+        if pattern and not fnmatch.fnmatch(bench.name, pattern):
+            continue
+        chosen.append(bench)
+    return sorted(chosen, key=lambda b: (AREAS.index(b.area), b.name))
+
+
+def run_benchmark(bench: Benchmark, quick: bool = False) -> BenchResult:
+    """Set up and time one benchmark (quick mode = fewer repeats)."""
+    fn = bench.setup()
+    repeats = bench.quick_repeats if quick else bench.repeats
+    warmup = bench.quick_warmup if quick else bench.warmup
+    samples = measure(fn, repeats=repeats, warmup=warmup)
+    return BenchResult(
+        name=bench.name,
+        area=bench.area,
+        params=bench.params,
+        samples=samples,
+        warmup=warmup,
+    )
+
+
+def run_selected(
+    areas: list[str] | None = None,
+    pattern: str | None = None,
+    quick: bool = False,
+    progress: Callable[[str], None] | None = None,
+) -> list[BenchResult]:
+    """Run every selected benchmark, reporting progress per benchmark."""
+    results = []
+    for bench in select(areas=areas, pattern=pattern):
+        result = run_benchmark(bench, quick=quick)
+        if progress is not None:
+            stats = f"median {result.median_s * 1e3:9.3f} ms ± {result.mad_s * 1e3:7.3f}"
+            progress(f"{result.name:<34} {stats} (n={len(result.samples)})")
+        results.append(result)
+    return results

@@ -1,0 +1,103 @@
+"""Command implementations behind ``repro bench run`` and ``repro bench compare``.
+
+Kept separate from :mod:`repro.cli` so the benchmark machinery stays
+importable (and testable) without pulling in the full CLI, and so the CLI
+only pays the import cost when the ``bench`` subcommand is actually used.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from .compare import DEFAULT_MIN_SECONDS, compare_dirs, format_report
+from .harness import AREAS, run_selected, select
+from .schema import write_area_files
+
+__all__ = ["add_bench_parser", "cmd_bench"]
+
+DEFAULT_OUT_DIR = "bench-results"
+DEFAULT_THRESHOLD = 1.5
+
+
+def add_bench_parser(sub) -> None:
+    """Attach the ``bench`` subcommand (``run``/``compare``/``list``)."""
+    p = sub.add_parser("bench", help="run or compare microbenchmarks")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+
+    run = bench_sub.add_parser("run", help="run benchmarks, write BENCH_<area>.json")
+    run.add_argument("--quick", action="store_true", help="fewer repeats/warmups (CI smoke mode)")
+    run.add_argument(
+        "--out-dir",
+        default=DEFAULT_OUT_DIR,
+        help=f"output directory (default: {DEFAULT_OUT_DIR}/)",
+    )
+    run.add_argument("--areas", default=None, help=f"comma-separated subset of {','.join(AREAS)}")
+    run.add_argument(
+        "--filter",
+        default=None,
+        metavar="GLOB",
+        help="fnmatch pattern on benchmark names (e.g. 'conv2d.*')",
+    )
+
+    comp = bench_sub.add_parser("compare", help="diff two result sets; exit 1 on regression")
+    comp.add_argument("baseline", help="baseline directory or BENCH_*.json file")
+    comp.add_argument("new", help="new directory or BENCH_*.json file")
+    comp.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help=f"fail when new median > threshold x baseline (default: {DEFAULT_THRESHOLD})",
+    )
+    comp.add_argument(
+        "--min-seconds",
+        type=float,
+        default=DEFAULT_MIN_SECONDS,
+        help=f"noise floor: medians are clamped up to this (default: {DEFAULT_MIN_SECONDS:g})",
+    )
+
+    bench_sub.add_parser("list", help="list registered benchmarks")
+
+
+def _parse_areas(spec: str | None) -> list[str] | None:
+    if spec is None:
+        return None
+    areas = [a.strip() for a in spec.split(",") if a.strip()]
+    unknown = [a for a in areas if a not in AREAS]
+    if unknown:
+        raise SystemExit(f"error: unknown area(s) {unknown}; expected a subset of {list(AREAS)}")
+    return areas
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    areas = _parse_areas(args.areas)
+    results = run_selected(areas=areas, pattern=args.filter, quick=args.quick, progress=print)
+    if not results:
+        print("no benchmarks matched the selection")
+        return 1
+    paths = write_area_files(results, args.out_dir, quick=args.quick)
+    for path in paths:
+        print(f"wrote {path}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    if args.threshold <= 1.0:
+        raise SystemExit("error: --threshold must be > 1.0")
+    comparisons = compare_dirs(
+        args.baseline, args.new, args.threshold, min_seconds=args.min_seconds
+    )
+    print(format_report(comparisons))
+    regressions = [c for c in comparisons if c.status == "regression"]
+    return 1 if regressions else 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    for bench in select():
+        print(f"{bench.area:<8} {bench.name:<34} repeats={bench.repeats} warmup={bench.warmup}")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    """Dispatch ``repro bench <run|compare|list>``."""
+    commands = {"run": _cmd_run, "compare": _cmd_compare, "list": _cmd_list}
+    return commands[args.bench_command](args)

@@ -1,0 +1,170 @@
+"""Versioned on-disk format for benchmark results: ``BENCH_<area>.json``.
+
+One file per benchmark area keeps diffs reviewable and lets CI upload and
+compare areas independently.  The payload is deliberately flat::
+
+    {
+      "schema_version": 1,
+      "area": "nn",
+      "quick": false,
+      "created_unix": 1754460000.0,
+      "env": {"python": "3.11.7", "numpy": "2.1.0", "platform": "..."},
+      "results": {
+        "conv2d.fwd.k3s1p1": {
+          "median_s": 0.0021, "mad_s": 0.0001, "mean_s": ..., "min_s": ...,
+          "max_s": ..., "repeats": 20, "warmup": 3,
+          "params": {"batch": 32, ...}
+        }, ...
+      }
+    }
+
+``schema_version`` gates compatibility: :func:`validate_payload` rejects
+files this code cannot interpret, so a future format change cannot be
+silently diffed against an old baseline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Iterable
+
+import numpy as np
+
+from .harness import BenchResult
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "area_filename",
+    "build_payload",
+    "write_area_files",
+    "load_payload",
+    "validate_payload",
+]
+
+SCHEMA_VERSION = 1
+
+_REQUIRED_TOP = {"schema_version", "area", "quick", "created_unix", "env", "results"}
+_REQUIRED_ENTRY = {"median_s", "mad_s", "mean_s", "min_s", "max_s", "repeats", "warmup"}
+
+
+class SchemaError(ValueError):
+    """A result file does not conform to the benchmark schema."""
+
+
+def area_filename(area: str) -> str:
+    """Canonical file name for one area's results."""
+    return f"BENCH_{area}.json"
+
+
+def _environment() -> dict:
+    return {
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def build_payload(area: str, results: Iterable[BenchResult], quick: bool) -> dict:
+    """Schema-conforming payload for one area's results."""
+    entries = {}
+    for r in results:
+        if r.area != area:
+            raise ValueError(f"result {r.name!r} belongs to area {r.area!r}, not {area!r}")
+        entries[r.name] = {
+            "median_s": r.median_s,
+            "mad_s": r.mad_s,
+            "mean_s": r.mean_s,
+            "min_s": r.min_s,
+            "max_s": r.max_s,
+            "repeats": len(r.samples),
+            "warmup": r.warmup,
+            "params": r.params,
+        }
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "area": area,
+        "quick": bool(quick),
+        "created_unix": time.time(),
+        "env": _environment(),
+        "results": entries,
+    }
+
+
+def write_area_files(results: Iterable[BenchResult], out_dir: str, quick: bool) -> list[str]:
+    """Group ``results`` by area and write one ``BENCH_<area>.json`` each.
+
+    Returns the written paths.  Files are valid per :func:`validate_payload`
+    by construction; a round-trip validation is still run so a future editing
+    mistake here fails loudly at write time rather than at compare time.
+    """
+    by_area: dict[str, list[BenchResult]] = {}
+    for r in results:
+        by_area.setdefault(r.area, []).append(r)
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for area, area_results in sorted(by_area.items()):
+        payload = build_payload(area, area_results, quick)
+        validate_payload(payload)
+        path = os.path.join(out_dir, area_filename(area))
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        paths.append(path)
+    return paths
+
+
+def validate_payload(payload: dict) -> None:
+    """Raise :class:`SchemaError` unless ``payload`` matches the schema."""
+    if not isinstance(payload, dict):
+        raise SchemaError("payload must be a JSON object")
+    missing = _REQUIRED_TOP - payload.keys()
+    if missing:
+        raise SchemaError(f"missing top-level keys: {sorted(missing)}")
+    version = payload["schema_version"]
+    if version != SCHEMA_VERSION:
+        raise SchemaError(f"schema_version {version!r} unsupported (expected {SCHEMA_VERSION})")
+    if not isinstance(payload["area"], str) or not payload["area"]:
+        raise SchemaError("area must be a non-empty string")
+    if not isinstance(payload["results"], dict):
+        raise SchemaError("results must be an object")
+    for name, entry in payload["results"].items():
+        if not isinstance(entry, dict):
+            raise SchemaError(f"result {name!r} must be an object")
+        missing = _REQUIRED_ENTRY - entry.keys()
+        if missing:
+            raise SchemaError(f"result {name!r} missing keys: {sorted(missing)}")
+        for key in ("median_s", "mad_s", "mean_s", "min_s", "max_s"):
+            value = entry[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                raise SchemaError(f"result {name!r}: {key} must be non-negative")
+        if entry["repeats"] < 1:
+            raise SchemaError(f"result {name!r}: repeats must be >= 1")
+
+
+def load_payload(path: str) -> dict:
+    """Read and validate one ``BENCH_<area>.json`` file."""
+    try:
+        with open(path) as fh:
+            payload = json.load(fh)
+    except json.JSONDecodeError as exc:
+        raise SchemaError(f"{path}: not valid JSON ({exc})") from exc
+    validate_payload(payload)
+    return payload
+
+
+def _main_check(argv: list[str]) -> int:  # pragma: no cover - tiny CLI shim
+    for path in argv:
+        load_payload(path)
+        print(f"{path}: ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(_main_check(sys.argv[1:]))

@@ -1,0 +1,11 @@
+"""Benchmark suites, one module per area.
+
+Importing this package registers every benchmark with
+:data:`repro.bench.harness.REGISTRY`; keep each module import-cheap (heavy
+setup belongs inside the registered setup callables, which only run when
+the benchmark is selected).
+"""
+
+from . import cluster, comm, core, data, nn  # noqa: F401
+
+__all__ = ["nn", "core", "comm", "cluster", "data"]

@@ -1,0 +1,79 @@
+"""Benchmarks for gradient compression round-trips and bucket packing.
+
+The compressors run ``compress -> decompress`` on a fixed 100k-element
+gradient (error-feedback state carries across iterations, as in training);
+packing benchmarks time the flatten/unflatten bucket used by every
+synchronous step.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..harness import register
+
+_N = 100_000
+
+
+def _grad():
+    return np.random.default_rng(0).normal(size=_N)
+
+
+@register("compression.onebit", area="cluster", params={"elements": _N})
+def _onebit():
+    from repro.cluster.compression import OneBitCompressor
+
+    comp = OneBitCompressor()
+    grad = _grad()
+    return lambda: comp.roundtrip(grad)
+
+
+@register("compression.topk", area="cluster", params={"elements": _N, "k": _N // 100})
+def _topk():
+    from repro.cluster.compression import TopKCompressor
+
+    comp = TopKCompressor(k=_N // 100)
+    grad = _grad()
+    return lambda: comp.roundtrip(grad)
+
+
+@register("compression.quantize8", area="cluster", params={"elements": _N, "bits": 8})
+def _quantize8():
+    from repro.cluster.compression import UniformQuantizer
+
+    comp = UniformQuantizer(bits=8)
+    grad = _grad()
+    return lambda: comp.roundtrip(grad)
+
+
+def _micro_resnet_params():
+    from repro.nn.models import build_model
+
+    model = build_model("micro_resnet", num_classes=10, seed=0)
+    params = model.parameters()
+    rng = np.random.default_rng(0)
+    for p in params:
+        p.grad = rng.normal(size=p.data.shape)
+    return params
+
+
+@register("packing.flatten_grads", area="cluster", params={"model": "micro_resnet"})
+def _flatten():
+    from repro.cluster.packing import flatten_grads
+
+    params = _micro_resnet_params()
+    out = flatten_grads(params)
+    return lambda: flatten_grads(params, out=out)
+
+
+@register("packing.roundtrip", area="cluster", params={"model": "micro_resnet"})
+def _roundtrip():
+    from repro.cluster.packing import flatten_grads, unflatten_grads
+
+    params = _micro_resnet_params()
+    out = flatten_grads(params)
+
+    def step():
+        unflatten_grads(flatten_grads(params, out=out), params)
+
+    return step

@@ -1,0 +1,55 @@
+"""Benchmarks for optimizer updates (SGD momentum, LARS trust-ratio).
+
+LARS pays two extra norms per parameter over SGD; tracking both on the same
+parameter set keeps that overhead ratio visible as the model zoo evolves.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..harness import register
+
+
+def _model_with_grads():
+    from repro.nn.models import build_model
+
+    model = build_model("micro_resnet", num_classes=10, seed=0)
+    params = model.parameters()
+    rng = np.random.default_rng(0)
+    for p in params:
+        p.grad = rng.normal(scale=1e-3, size=p.data.shape)
+    return model, params
+
+
+@register(
+    "sgd.step",
+    area="core",
+    params={"model": "micro_resnet", "momentum": 0.9, "weight_decay": 0.0005},
+    repeats=30,
+)
+def _sgd_step():
+    from repro.core import SGD
+
+    _, params = _model_with_grads()
+    opt = SGD(params)
+    return lambda: opt.step(0.01)
+
+
+@register(
+    "lars.step",
+    area="core",
+    params={
+        "model": "micro_resnet",
+        "trust_coefficient": 0.001,
+        "momentum": 0.9,
+        "weight_decay": 0.0005,
+    },
+    repeats=30,
+)
+def _lars_step():
+    from repro.core import LARS
+
+    _, params = _model_with_grads()
+    opt = LARS(params)
+    return lambda: opt.step(0.01)

@@ -11,6 +11,10 @@ Commands
     Alias for ``python -m repro.experiments``.
 ``info``
     Print the model zoo's cost table and the available devices/networks.
+``bench``
+    Run the microbenchmark suites (``bench run``) or diff two result sets
+    against a regression threshold (``bench compare``); see
+    ``docs/benchmarking.md``.
 """
 
 from __future__ import annotations
@@ -228,13 +232,18 @@ def cmd_info(args) -> int:
 
 def main(argv: list[str] | None = None) -> int:
     """Console entry point (see module docstring for the commands)."""
+    from .bench.runner import add_bench_parser, cmd_bench
+
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
     _add_train_parser(sub)
     _add_predict_parser(sub)
     sub.add_parser("info", help="print model/device/network tables")
+    add_bench_parser(sub)
     args = parser.parse_args(argv)
-    return {"train": cmd_train, "predict": cmd_predict, "info": cmd_info}[args.command](args)
+    commands = {"train": cmd_train, "predict": cmd_predict, "info": cmd_info,
+                "bench": cmd_bench}
+    return commands[args.command](args)
 
 
 if __name__ == "__main__":

@@ -18,9 +18,19 @@ from ..nn.tensor import Parameter
 __all__ = ["flatten_grads", "unflatten_grads", "flatten_params", "unflatten_params"]
 
 
-def _flatten(arrays: Sequence[np.ndarray]) -> np.ndarray:
+def _flatten(arrays: Sequence[np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
     if not arrays:
         raise ValueError("nothing to flatten")
+    if out is not None:
+        total = sum(a.size for a in arrays)
+        if out.shape != (total,):
+            raise ValueError(f"out buffer has shape {out.shape}, expected ({total},)")
+        offset = 0
+        for a in arrays:
+            flat = a.reshape(-1)
+            out[offset : offset + flat.size] = flat
+            offset += flat.size
+        return out
     return np.concatenate([a.ravel() for a in arrays])
 
 
@@ -34,9 +44,16 @@ def _unflatten_into(flat: np.ndarray, targets: Sequence[np.ndarray]) -> None:
         offset += t.size
 
 
-def flatten_grads(params: Sequence[Parameter]) -> np.ndarray:
-    """One contiguous float64 buffer holding every gradient, in order."""
-    return _flatten([p.grad for p in params])
+def flatten_grads(
+    params: Sequence[Parameter], out: np.ndarray | None = None
+) -> np.ndarray:
+    """One contiguous float64 buffer holding every gradient, in order.
+
+    ``out`` lets the per-iteration caller reuse one bucket buffer instead of
+    reallocating |W| floats every step (the same buffer-reuse discipline
+    production gradient-fusion stacks apply).
+    """
+    return _flatten([p.grad for p in params], out=out)
 
 
 def unflatten_grads(flat: np.ndarray, params: Sequence[Parameter]) -> None:
@@ -44,9 +61,11 @@ def unflatten_grads(flat: np.ndarray, params: Sequence[Parameter]) -> None:
     _unflatten_into(flat, [p.grad for p in params])
 
 
-def flatten_params(params: Sequence[Parameter]) -> np.ndarray:
+def flatten_params(
+    params: Sequence[Parameter], out: np.ndarray | None = None
+) -> np.ndarray:
     """One contiguous buffer of the parameter *values* (weight broadcast)."""
-    return _flatten([p.data for p in params])
+    return _flatten([p.data for p in params], out=out)
 
 
 def unflatten_params(flat: np.ndarray, params: Sequence[Parameter]) -> None:

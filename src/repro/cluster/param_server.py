@@ -99,7 +99,6 @@ def train_param_server(
     """Run the asynchronous parameter-server simulation."""
     sched = ConstantLR(schedule) if isinstance(schedule, (int, float)) else schedule
     profile = config.profile if config.profile is not None else NetworkProfile.ideal()
-    rng = np.random.default_rng(config.seed)
 
     server_model = model_builder()
     optimizer = optimizer_builder(server_model.parameters())

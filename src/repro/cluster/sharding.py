@@ -9,16 +9,31 @@ setup where each machine stores its partition locally.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 __all__ = ["shard_slice", "shard_batch", "shard_sizes", "epoch_permutation"]
 
 
+@lru_cache(maxsize=8)
+def _cached_permutation(n: int, epoch: int, seed: int) -> np.ndarray:
+    perm = np.random.default_rng((seed, epoch)).permutation(n)
+    perm.setflags(write=False)  # shared across callers — must stay immutable
+    return perm
+
+
 def epoch_permutation(n: int, epoch: int, seed: int) -> np.ndarray:
     """Global shuffle for ``epoch`` — identical on every rank and identical
     to the serial trainer's, which is what makes the sequential-consistency
-    comparison meaningful."""
-    return np.random.default_rng((seed, epoch)).permutation(n)
+    comparison meaningful.
+
+    Every rank of a simulated cluster (and every loader sharing the seed)
+    asks for the same permutation each epoch, so the result is memoised in
+    a small per-process LRU and returned as a *read-only* array: one rank
+    pays the shuffle, the other P−1 get the cached copy for free.
+    """
+    return _cached_permutation(int(n), int(epoch), int(seed))
 
 
 def shard_sizes(batch: int, world: int) -> list[int]:

@@ -274,11 +274,17 @@ def _sync_gradient_allreduce(
     weight: float,
     algorithm: str,
     compressor=None,
+    bucket: np.ndarray | None = None,
 ) -> None:
     """Decentralised mode: allreduce shard-weighted gradients in place,
-    optionally through a gradient compressor (1-bit / top-k / quantised)."""
+    optionally through a gradient compressor (1-bit / top-k / quantised).
+
+    ``bucket`` is the rank's reusable flat gradient buffer (|W| floats);
+    supplying it avoids reallocating the bucket every iteration."""
     params = model.parameters()
-    flat = flatten_grads(params) * weight
+    flat = flatten_grads(params, out=bucket)
+    if weight != 1.0:
+        flat *= weight
     if compressor is not None:
         from .compression import compressed_allreduce
 
@@ -372,6 +378,10 @@ def train_sync_sgd(
             compressor = (
                 cfg.compressor_factory() if cfg.compressor_factory else None
             )
+            # Reusable flat gradient bucket (one |W| buffer per rank).
+            grad_bucket = np.empty(
+                sum(p.size for p in model.parameters()), dtype=np.float64
+            )
 
             for epoch in range(start_epoch, cfg.epochs):
                 order = epoch_permutation(n, epoch, cfg.shuffle_seed)
@@ -417,7 +427,8 @@ def train_sync_sgd(
 
                     if cfg.mode == "allreduce":
                         _sync_gradient_allreduce(comm, model, combine_weight,
-                                                 cfg.algorithm, compressor)
+                                                 cfg.algorithm, compressor,
+                                                 bucket=grad_bucket)
                         optimizer.step(lr)
                     else:
                         _sync_gradient_master(comm, model, optimizer,

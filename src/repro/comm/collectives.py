@@ -113,8 +113,13 @@ def allreduce_ring(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
         return np.array(array, dtype=np.float64, copy=True)
     size, rank = comm.size, comm.rank
     flat = np.asarray(array, dtype=np.float64).ravel().copy()
-    chunks = np.array_split(flat, size)
-    offsets = np.cumsum([0] + [len(c) for c in chunks])
+    # Chunk boundaries follow np.array_split's convention (first n % P
+    # chunks get the extra element) computed arithmetically — no temporary
+    # chunk views on the per-iteration critical path.
+    base, extra = divmod(flat.size, size)
+    offsets = [0] * (size + 1)
+    for r in range(size):
+        offsets[r + 1] = offsets[r] + base + (1 if r < extra else 0)
     right = (rank + 1) % size
     left = (rank - 1) % size
 

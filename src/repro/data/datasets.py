@@ -8,6 +8,8 @@ ImageNet constants; the convergence experiments use proxy datasets whose
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 from .synthetic import Dataset, SyntheticConfig, make_dataset
 
 __all__ = [
@@ -17,8 +19,6 @@ __all__ = [
     "proxy_dataset",
     "TARGET_ACCURACY",
 ]
-
-from dataclasses import dataclass
 
 
 @dataclass(frozen=True)

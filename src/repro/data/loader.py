@@ -4,10 +4,19 @@ The serial :class:`repro.core.Trainer` and the simulated cluster both slice
 batches themselves (they need exact control for the consistency tests); this
 loader is the user-facing convenience for examples and custom loops, and the
 single place augmentation hooks in.
+
+Epoch advance is explicit: iterating the loader always yields the *current*
+epoch (same shuffle, same augmentation draws, every time), and training
+loops step epochs with :meth:`BatchLoader.epochs` or
+:meth:`BatchLoader.set_epoch`.  The historical behaviour — ``__iter__``
+silently advancing the epoch, so two ``list(loader)`` calls returned
+different data — survives behind ``auto_advance=True`` and a deprecation
+warning for callers that still rely on it implicitly.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Iterator
 
 import numpy as np
@@ -35,6 +44,10 @@ class BatchLoader:
         the same slices the simulated cluster uses.
     seed:
         Drives both the epoch shuffle and the augmentation randomness.
+    auto_advance:
+        ``True`` restores the deprecated implicit epoch advance at the end
+        of every ``__iter__``; the default (``None``) keeps that behaviour
+        but warns once, and ``False`` opts into the explicit API.
     """
 
     def __init__(
@@ -47,6 +60,7 @@ class BatchLoader:
         rank: int = 0,
         seed: int = 0,
         shuffle: bool = True,
+        auto_advance: bool | None = None,
     ):
         if len(x) != len(y):
             raise ValueError("x and y length mismatch")
@@ -60,6 +74,8 @@ class BatchLoader:
         self.seed = seed
         self.shuffle = shuffle
         self.epoch = 0
+        self._auto_advance = auto_advance
+        self._order_cache: tuple[int, np.ndarray] | None = None
         if augment is None:
             augment = "none"
         if isinstance(augment, str):
@@ -77,17 +93,50 @@ class BatchLoader:
     def __len__(self) -> int:
         return self.batches_per_epoch
 
-    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
-        """Yield this rank's shard of every global batch of one epoch.
+    # -- explicit epoch control ------------------------------------------------
+    def set_epoch(self, epoch: int) -> None:
+        """Position the loader at ``epoch`` (controls shuffle + augmentation)."""
+        if epoch < 0:
+            raise ValueError("epoch must be non-negative")
+        self.epoch = int(epoch)
 
-        Each call iterates the *next* epoch (fresh shuffle, fresh
-        augmentation draws), mirroring a training loop's epoch structure.
+    def epochs(self, num_epochs: int) -> Iterator[Iterator[tuple[np.ndarray, np.ndarray]]]:
+        """Yield one batch iterator per epoch, advancing explicitly.
+
+        >>> for batches in loader.epochs(3):
+        ...     for xb, yb in batches:
+        ...         step(xb, yb)
+
+        Starts at the current epoch and leaves the loader positioned just
+        past the last epoch, so successive ``epochs()`` calls continue the
+        schedule.
         """
+        if num_epochs < 0:
+            raise ValueError("num_epochs must be non-negative")
+        start = self.epoch
+        for epoch in range(start, start + num_epochs):
+            self.set_epoch(epoch)
+            yield self._iter_epoch()
+        self.set_epoch(start + num_epochs)
+
+    def _epoch_order(self) -> np.ndarray:
+        """Permutation of the current epoch, cached for re-iteration.
+
+        ``epoch_permutation`` itself memoises across loaders/ranks; the
+        loader-local cache additionally skips the hash lookup when the same
+        epoch is replayed (the common benchmark/eval pattern).
+        """
+        if not self.shuffle:
+            return np.arange(len(self.x))
+        if self._order_cache is None or self._order_cache[0] != self.epoch:
+            order = epoch_permutation(len(self.x), self.epoch, self.seed)
+            self._order_cache = (self.epoch, order)
+        return self._order_cache[1]
+
+    def _iter_epoch(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Yield this rank's shard of every global batch of the current epoch."""
         n = len(self.x)
-        if self.shuffle:
-            order = epoch_permutation(n, self.epoch, self.seed)
-        else:
-            order = np.arange(n)
+        order = self._epoch_order()
         aug_rng = np.random.default_rng((self.seed, self.epoch, self.rank))
         for lo in range(0, n, self.batch_size):
             global_idx = order[lo : lo + self.batch_size]
@@ -96,4 +145,24 @@ class BatchLoader:
                 continue
             xb = self._augment(self.x[local_idx], aug_rng)
             yield xb, self.y[local_idx]
-        self.epoch += 1
+
+    def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
+        """Iterate the current epoch's batches.
+
+        With ``auto_advance`` unset or ``True``, the epoch advances after
+        the last batch (deprecated implicit behaviour); with ``False`` the
+        loader stays on the current epoch until told otherwise.
+        """
+        yield from self._iter_epoch()
+        if self._auto_advance or self._auto_advance is None:
+            if self._auto_advance is None:
+                warnings.warn(
+                    "BatchLoader.__iter__ advanced the epoch implicitly; this "
+                    "is deprecated — iterate loader.epochs(n) / call "
+                    "set_epoch(), or pass auto_advance=True to keep the old "
+                    "behaviour silently",
+                    DeprecationWarning,
+                    stacklevel=2,
+                )
+                self._auto_advance = True
+            self.epoch += 1

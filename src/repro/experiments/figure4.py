@@ -49,9 +49,9 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
                     }
                 )
     final = {
-        (pb, l): max(r["test_accuracy"] for r in rows
-                     if r["paper_batch"] == pb and r["lars"] == l)
-        for pb in (16384, 32768) for l in (False, True)
+        (pb, lars_on): max(r["test_accuracy"] for r in rows
+                           if r["paper_batch"] == pb and r["lars"] == lars_on)
+        for pb in (16384, 32768) for lars_on in (False, True)
     }
     curves = []
     for pb in (16384, 32768):

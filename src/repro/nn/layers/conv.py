@@ -7,6 +7,22 @@ flop accounting below exactly the paper's "flops per image" convention.
 
 Data layout is channels-first (``N, C, H, W``); weights are
 ``(C_out, C_in/groups, KH, KW)`` as in Caffe.
+
+Hot-path structure (measured by ``repro.bench``, guarded by the parity tests
+in ``tests/nn/test_conv_parity.py``):
+
+* :func:`im2col_view` exposes the zero-copy strided patch view; the public
+  :func:`im2col` materialises it into a caller-supplied ``out=`` buffer so
+  steady-state iterations reuse one workspace instead of reallocating.
+* :func:`col2im` takes a single vectorised scatter when the windows cannot
+  overlap (``stride >= kernel``) and falls back to the per-offset
+  slice-add loop otherwise.
+* :class:`Conv2D` skips ``im2col``/``col2im`` entirely for 1×1 kernels
+  (bottleneck and shortcut convolutions are plain strided GEMMs), drives
+  the GEMMs through ``np.matmul`` for small problems and through
+  path-cached einsum (:func:`repro.nn.tensor.cached_einsum`) for large
+  ones — both choices are functions of the operand shapes alone, so the
+  numerics of a given layer geometry never depend on runtime state.
 """
 
 from __future__ import annotations
@@ -14,10 +30,15 @@ from __future__ import annotations
 import numpy as np
 
 from ..initializers import Initializer, he_normal, zeros
-from ..tensor import Parameter
+from ..tensor import Parameter, Workspace, cached_einsum
 from .base import Module, Shape
 
-__all__ = ["Conv2D", "im2col", "col2im", "conv_output_hw"]
+__all__ = ["Conv2D", "im2col", "im2col_view", "col2im", "conv_output_hw"]
+
+# Backward-GEMM strategy crossover (total MACs): below this, batched
+# ``np.matmul`` with folded batch axes wins; above it, einsum's tensordot
+# contraction order is faster.  Shape-only, so replays are deterministic.
+_BATCHED_MATMUL_MAX_MACS = 1 << 25
 
 
 def conv_output_hw(
@@ -33,13 +54,16 @@ def conv_output_hw(
     return oh, ow
 
 
-def im2col(
+def im2col_view(
     x: np.ndarray, kh: int, kw: int, stride: int, pad: int
 ) -> tuple[np.ndarray, tuple[int, int]]:
-    """Unfold ``(N, C, H, W)`` into ``(N, C*KH*KW, OH*OW)`` patch columns.
+    """Zero-copy patch view ``(N, C, KH, KW, OH, OW)`` of ``x``.
 
-    Returns the column tensor and the output spatial size.  Uses a strided
-    view plus one copy — no Python-level loops over pixels.
+    The view is read-only (it aliases ``x`` — or its padded copy — with
+    overlapping strides, so writes would corrupt neighbouring patches).
+    Consumers that can digest strided operands (einsum, slice reductions)
+    avoid the big column copy entirely; everyone else goes through
+    :func:`im2col`.
     """
     n, c, h, w = x.shape
     oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
@@ -48,9 +72,39 @@ def im2col(
     sn, sc, sh, sw = x.strides
     shape = (n, c, kh, kw, oh, ow)
     strides = (sn, sc, sh, sw, sh * stride, sw * stride)
-    patches = np.lib.stride_tricks.as_strided(x, shape=shape, strides=strides)
-    cols = patches.reshape(n, c * kh * kw, oh * ow)
-    return np.ascontiguousarray(cols), (oh, ow)
+    patches = np.lib.stride_tricks.as_strided(
+        x, shape=shape, strides=strides, writeable=False
+    )
+    return patches, (oh, ow)
+
+
+def im2col(
+    x: np.ndarray,
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    out: np.ndarray | None = None,
+) -> tuple[np.ndarray, tuple[int, int]]:
+    """Unfold ``(N, C, H, W)`` into ``(N, C*KH*KW, OH*OW)`` patch columns.
+
+    Returns the column tensor and the output spatial size.  One vectorised
+    copy of the strided patch view — no Python-level loops over pixels.
+    ``out`` supplies a preallocated destination of exactly the column shape
+    (and ``x``'s dtype), so per-iteration callers can reuse one workspace
+    buffer instead of paying allocation and page-fault cost every step.
+    """
+    n, c, _, _ = x.shape
+    patches, (oh, ow) = im2col_view(x, kh, kw, stride, pad)
+    cols_shape = (n, c * kh * kw, oh * ow)
+    if out is None:
+        out = np.empty(cols_shape, dtype=x.dtype)
+    elif out.shape != cols_shape or out.dtype != x.dtype:
+        raise ValueError(
+            f"out has shape {out.shape}/{out.dtype}, expected {cols_shape}/{x.dtype}"
+        )
+    out.reshape(n, c, kh, kw, oh, ow)[...] = patches
+    return out, (oh, ow)
 
 
 def col2im(
@@ -64,19 +118,34 @@ def col2im(
     """Adjoint of :func:`im2col`: scatter-add columns back into an image.
 
     ``cols`` has shape ``(N, C*KH*KW, OH*OW)``.  Overlapping patches sum,
-    which is exactly the backward pass of the unfold.
+    which is exactly the backward pass of the unfold.  When the windows
+    cannot overlap (``stride >= kernel``, which includes every 1×1
+    convolution) each image pixel receives at most one column element, so
+    the scatter-add collapses to a single vectorised assignment into a
+    strided view — bitwise identical to the general loop, since adding one
+    term to zero is exact.
     """
     n, c, h, w = x_shape
     oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
     hp, wp = h + 2 * pad, w + 2 * pad
     out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
     cols6 = cols.reshape(n, c, kh, kw, oh, ow)
-    # Scatter-add per kernel offset: KH*KW slice-adds, each fully vectorised.
-    for i in range(kh):
-        hi = i + stride * oh
-        for j in range(kw):
-            wj = j + stride * ow
-            out[:, :, i:hi:stride, j:wj:stride] += cols6[:, :, i, j, :, :]
+    if stride >= kh and stride >= kw:
+        # Non-overlapping fast branch: one strided scatter, no loop.
+        sn, sc, sh, sw = out.strides
+        target = np.lib.stride_tricks.as_strided(
+            out,
+            shape=(n, c, kh, kw, oh, ow),
+            strides=(sn, sc, sh, sw, sh * stride, sw * stride),
+        )
+        target[...] = cols6
+    else:
+        # Scatter-add per kernel offset: KH*KW slice-adds, fully vectorised.
+        for i in range(kh):
+            hi = i + stride * oh
+            for j in range(kw):
+                wj = j + stride * ow
+                out[:, :, i:hi:stride, j:wj:stride] += cols6[:, :, i, j, :, :]
     if pad > 0:
         out = out[:, :, pad:-pad, pad:-pad]
     return out
@@ -95,6 +164,10 @@ class Conv2D(Module):
         Square window geometry.
     bias:
         ResNet convolutions that feed BatchNorm omit the bias.
+    fast_paths:
+        Enables the 1×1 im2col-free route and workspace reuse.  The general
+        route is kept selectable so the parity tests can assert both produce
+        bitwise-identical results; production code never disables it.
     """
 
     def __init__(
@@ -109,6 +182,7 @@ class Conv2D(Module):
         weight_init: Initializer = he_normal,
         bias_init: Initializer = zeros,
         rng: np.random.Generator | None = None,
+        fast_paths: bool = True,
     ):
         super().__init__()
         if in_channels % groups or out_channels % groups:
@@ -120,10 +194,12 @@ class Conv2D(Module):
         self.stride = stride
         self.padding = padding
         self.groups = groups
+        self.fast_paths = bool(fast_paths)
         wshape = (out_channels, in_channels // groups, kernel_size, kernel_size)
         self.weight = Parameter(weight_init(wshape, rng))
         self.bias = Parameter(bias_init((out_channels,), rng), weight_decay=0.0) if bias else None
         self._cache: tuple | None = None
+        self._workspace = Workspace()
 
     def output_shape(self, input_shape: Shape) -> Shape:
         c, h, w = input_shape
@@ -141,16 +217,33 @@ class Conv2D(Module):
             flops += oh * ow * self.out_channels
         return flops
 
+    def _is_pointwise(self) -> bool:
+        """1×1 unpadded kernels need no patch extraction at all."""
+        return self.fast_paths and self.kernel_size == 1 and self.padding == 0
+
     def forward(self, x: np.ndarray) -> np.ndarray:
         n, c, h, w = x.shape
         k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
-        cols, (oh, ow) = im2col(x, k, k, s, p)
         cg = c // g
         og = self.out_channels // g
+        if self._is_pointwise():
+            # The "columns" of a 1×1 kernel are the input pixels themselves
+            # (stride just subsamples them) — no im2col copy.
+            oh, ow = conv_output_hw(h, w, k, k, s, p)
+            xs = x if s == 1 else x[:, :, ::s, ::s]
+            cols_g = xs.reshape(n, g, cg, oh * ow)
+        else:
+            oh, ow = conv_output_hw(h, w, k, k, s, p)
+            out_buf = (
+                self._workspace.get("cols", (n, c * k * k, oh * ow), x.dtype)
+                if self.fast_paths
+                else None
+            )
+            cols, _ = im2col(x, k, k, s, p, out=out_buf)
+            cols_g = cols.reshape(n, g, cg * k * k, oh * ow)
         w2 = self.weight.data.reshape(g, og, cg * k * k)
-        cols_g = cols.reshape(n, g, cg * k * k, oh * ow)
-        # (g, og, ckk) @ (n, g, ckk, L) -> (n, g, og, L)
-        out = np.einsum("goc,ngcl->ngol", w2, cols_g, optimize=True)
+        # (1, g, og, ckk) @ (n, g, ckk, L) -> (n, g, og, L): BLAS batched GEMM.
+        out = np.matmul(w2[None], cols_g)
         out = out.reshape(n, self.out_channels, oh, ow)
         if self.bias is not None:
             out += self.bias.data[None, :, None, None]
@@ -165,15 +258,33 @@ class Conv2D(Module):
         k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
         cg = self.in_channels // g
         og = self.out_channels // g
-        go = grad_out.reshape(n, g, og, oh * ow)
-        # dW: sum over batch and spatial positions.
-        dw = np.einsum("ngol,ngcl->goc", go, cols_g, optimize=True)
+        ckk = cols_g.shape[2]
+        span = oh * ow
+        go = grad_out.reshape(n, g, og, span)
+        w2 = self.weight.data.reshape(g, og, ckk)
+        if n * g * og * ckk * span <= _BATCHED_MATMUL_MAX_MACS:
+            # Fold the batch into the GEMM columns: one (og × nL)·(nL × ckk)
+            # product per group beats einsum's dispatch overhead here.
+            dw = np.matmul(
+                go.transpose(1, 2, 0, 3).reshape(g, og, n * span),
+                cols_g.transpose(1, 0, 3, 2).reshape(g, n * span, ckk),
+            )
+            dcols = np.matmul(w2.transpose(0, 2, 1)[None], go)
+        else:
+            # Large problems: einsum's contraction order wins; the path is
+            # memoised per shape so only the first call pays for planning.
+            dw = cached_einsum("ngol,ngcl->goc", go, cols_g)
+            dcols = cached_einsum("goc,ngol->ngcl", w2, go)
         self.weight.grad += dw.reshape(self.weight.data.shape)
         if self.bias is not None:
             self.bias.grad += grad_out.sum(axis=(0, 2, 3))
-        # dX: transpose-weight GEMM then col2im scatter.
-        w2 = self.weight.data.reshape(g, og, cg * k * k)
-        dcols = np.einsum("goc,ngol->ngcl", w2, go, optimize=True)
-        dcols = dcols.reshape(n, self.in_channels * k * k, oh * ow)
         self._cache = None
+        if self._is_pointwise():
+            # Adjoint of the strided subsampling: no col2im needed.
+            if s == 1:
+                return dcols.reshape(x_shape)
+            dx = np.zeros(x_shape, dtype=dcols.dtype)
+            dx[:, :, ::s, ::s] = dcols.reshape(n, self.in_channels, oh, ow)
+            return dx
+        dcols = dcols.reshape(n, self.in_channels * k * k, span)
         return col2im(dcols, x_shape, k, k, s, p)

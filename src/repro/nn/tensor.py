@@ -16,7 +16,60 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["Parameter"]
+__all__ = ["Parameter", "Workspace", "cached_einsum"]
+
+# einsum recomputes its contraction path on every call; for the small
+# per-layer contractions of the proxy models that bookkeeping rivals the
+# arithmetic.  Paths depend only on (equation, operand shapes), so they are
+# memoised here and shared by every layer.
+_EINSUM_PATHS: dict[tuple, list] = {}
+
+
+def cached_einsum(equation: str, *operands: np.ndarray, out: np.ndarray | None = None):
+    """``np.einsum`` with the contraction path memoised per (equation, shapes).
+
+    Numerically identical to ``np.einsum(..., optimize=True)`` — the path
+    only chooses the order of pairwise contractions, and for a fixed key the
+    same path is replayed every call.
+    """
+    key = (equation,) + tuple(op.shape for op in operands)
+    path = _EINSUM_PATHS.get(key)
+    if path is None:
+        path = np.einsum_path(equation, *operands, optimize=True)[0]
+        _EINSUM_PATHS[key] = path
+    return np.einsum(equation, *operands, optimize=path, out=out)
+
+
+class Workspace:
+    """Reusable scratch buffers keyed by (tag, shape, dtype).
+
+    Hot-path kernels (``im2col`` columns, flattened gradient buckets) fill
+    the same-shaped temporary every iteration; allocating it fresh each time
+    pays page-fault and allocator cost proportional to the buffer size.  A
+    workspace hands back the *same* array on every request with a matching
+    key, so steady-state iterations allocate nothing.
+
+    Buffers are returned uninitialised (like ``np.empty``) and must be fully
+    overwritten by the caller.  Not thread-safe; simulated ranks each own
+    their model, and each model layer owns its workspace.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: dict[tuple, np.ndarray] = {}
+
+    def get(self, tag: str, shape: tuple[int, ...], dtype=np.float64) -> np.ndarray:
+        """Return a reusable uninitialised array of ``shape``/``dtype``."""
+        key = (tag, shape, np.dtype(dtype))
+        buf = self._buffers.get(key)
+        if buf is None:
+            buf = self._buffers[key] = np.empty(shape, dtype=dtype)
+        return buf
+
+    def clear(self) -> None:
+        """Drop every cached buffer (frees the memory)."""
+        self._buffers.clear()
 
 
 class Parameter:

@@ -10,10 +10,52 @@ from __future__ import annotations
 
 import time
 from collections import defaultdict
+from typing import Callable, Sequence
 
 from ..nn.layers.base import Module, Sequential
 
-__all__ = ["Timer", "LayerProfiler"]
+__all__ = ["Timer", "LayerProfiler", "measure", "median", "median_abs_deviation"]
+
+
+def median(samples: Sequence[float]) -> float:
+    """Median of ``samples`` (robust location; benchmarks report this)."""
+    if not samples:
+        raise ValueError("median of empty sample set")
+    ordered = sorted(samples)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return 0.5 * (ordered[mid - 1] + ordered[mid])
+
+
+def median_abs_deviation(samples: Sequence[float]) -> float:
+    """Median absolute deviation from the median (robust spread).
+
+    Unlike the standard deviation, a single scheduler hiccup in one timed
+    run barely moves the MAD — which is why the benchmark harness reports
+    median ± MAD rather than mean ± std.
+    """
+    m = median(samples)
+    return median(tuple(abs(s - m) for s in samples))
+
+
+def measure(
+    fn: Callable[[], object], repeats: int, warmup: int = 0
+) -> list[float]:
+    """Wall-clock samples of ``fn()``: ``warmup`` untimed runs, then
+    ``repeats`` timed ones (``time.perf_counter`` deltas, in seconds)."""
+    if repeats <= 0:
+        raise ValueError("repeats must be positive")
+    if warmup < 0:
+        raise ValueError("warmup must be non-negative")
+    for _ in range(warmup):
+        fn()
+    samples = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return samples
 
 
 class Timer:

@@ -1,0 +1,104 @@
+"""Harness unit tests: registration, selection, execution, statistics."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import (
+    AREAS,
+    REGISTRY,
+    register,
+    run_benchmark,
+    run_selected,
+    select,
+)
+from repro.util.timing import measure, median, median_abs_deviation
+
+
+@pytest.fixture
+def scratch_registry():
+    """Let a test register temporary benchmarks, then restore REGISTRY."""
+    before = dict(REGISTRY)
+    yield REGISTRY
+    REGISTRY.clear()
+    REGISTRY.update(before)
+
+
+def test_median_odd_and_even():
+    assert median([3.0, 1.0, 2.0]) == 2.0
+    assert median([4.0, 1.0, 2.0, 3.0]) == 2.5
+
+
+def test_median_abs_deviation():
+    assert median_abs_deviation([1.0, 1.0, 1.0]) == 0.0
+    # samples 1..5: median 3, |x-3| = [2,1,0,1,2], MAD = 1
+    assert median_abs_deviation([1.0, 2.0, 3.0, 4.0, 5.0]) == 1.0
+
+
+def test_measure_counts_and_validates():
+    calls = []
+    samples = measure(lambda: calls.append(1), repeats=4, warmup=2)
+    assert len(samples) == 4
+    assert len(calls) == 6  # warmup runs too, untimed
+    assert all(s >= 0 for s in samples)
+    with pytest.raises(ValueError):
+        measure(lambda: None, repeats=0)
+    with pytest.raises(ValueError):
+        measure(lambda: None, repeats=1, warmup=-1)
+
+
+def test_register_rejects_duplicates_and_bad_area(scratch_registry):
+    @register("tmp.thing", area="nn")
+    def _setup():
+        return lambda: None
+
+    with pytest.raises(ValueError, match="twice"):
+        register("tmp.thing", area="nn")(lambda: (lambda: None))
+    with pytest.raises(ValueError, match="unknown area"):
+        register("tmp.other", area="gpu")(lambda: (lambda: None))
+
+
+def test_select_filters_by_area_and_pattern():
+    all_benches = select()
+    assert all_benches, "suites registered nothing"
+    areas = {b.area for b in all_benches}
+    assert areas <= set(AREAS)
+    nn_only = select(areas=["nn"])
+    assert nn_only and all(b.area == "nn" for b in nn_only)
+    conv_only = select(pattern="conv2d.*")
+    assert conv_only and all(b.name.startswith("conv2d.") for b in conv_only)
+    # deterministic order: area order, then name
+    assert [b.name for b in all_benches] == sorted(
+        (b.name for b in all_benches),
+        key=lambda n: (AREAS.index(REGISTRY[n].area), n),
+    )
+
+
+def test_run_benchmark_quick_uses_quick_counts(scratch_registry):
+    ran = []
+
+    @register("tmp.counted", area="nn", repeats=7, warmup=2,
+              quick_repeats=3, quick_warmup=1)
+    def _setup():
+        return lambda: ran.append(1)
+
+    result = run_benchmark(REGISTRY["tmp.counted"], quick=True)
+    assert len(result.samples) == 3
+    assert result.warmup == 1
+    assert len(ran) == 4
+    assert result.median_s >= 0
+    assert result.min_s <= result.median_s <= result.max_s
+
+
+def test_run_selected_reports_progress(scratch_registry):
+    @register("tmp.progress", area="data")
+    def _setup():
+        x = np.zeros(10)
+        return lambda: x.sum()
+
+    lines = []
+    results = run_selected(
+        pattern="tmp.progress", quick=True, progress=lines.append
+    )
+    assert len(results) == 1
+    assert len(lines) == 1
+    assert "tmp.progress" in lines[0]

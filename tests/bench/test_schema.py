@@ -1,0 +1,96 @@
+"""Schema tests: build/write/load round-trip and validation failure modes."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import BenchResult
+from repro.bench.schema import (
+    SCHEMA_VERSION,
+    SchemaError,
+    area_filename,
+    build_payload,
+    load_payload,
+    validate_payload,
+    write_area_files,
+)
+
+
+def _result(name="conv2d.fwd", area="nn", samples=(0.002, 0.003, 0.0025)):
+    return BenchResult(
+        name=name, area=area, params={"batch": 32},
+        samples=list(samples), warmup=3,
+    )
+
+
+def test_area_filename():
+    assert area_filename("nn") == "BENCH_nn.json"
+
+
+def test_build_payload_schema_valid():
+    payload = build_payload("nn", [_result()], quick=False)
+    validate_payload(payload)
+    entry = payload["results"]["conv2d.fwd"]
+    assert entry["repeats"] == 3
+    assert entry["median_s"] == 0.0025
+    assert payload["schema_version"] == SCHEMA_VERSION
+    assert payload["quick"] is False
+
+
+def test_build_payload_rejects_wrong_area():
+    with pytest.raises(ValueError, match="belongs to area"):
+        build_payload("comm", [_result(area="nn")], quick=False)
+
+
+def test_write_and_load_roundtrip(tmp_path):
+    results = [
+        _result("a.one", "nn"),
+        _result("a.two", "nn", samples=(0.1, 0.2, 0.3)),
+        _result("b.one", "data"),
+    ]
+    paths = write_area_files(results, str(tmp_path), quick=True)
+    assert sorted(p.split("/")[-1] for p in paths) == [
+        "BENCH_data.json", "BENCH_nn.json",
+    ]
+    nn = load_payload(str(tmp_path / "BENCH_nn.json"))
+    assert set(nn["results"]) == {"a.one", "a.two"}
+    assert nn["quick"] is True
+    assert nn["env"]["numpy"]
+
+
+def test_load_rejects_bad_json(tmp_path):
+    path = tmp_path / "BENCH_nn.json"
+    path.write_text("{not json")
+    with pytest.raises(SchemaError, match="not valid JSON"):
+        load_payload(str(path))
+
+
+def test_validate_rejects_missing_keys():
+    payload = build_payload("nn", [_result()], quick=False)
+    del payload["env"]
+    with pytest.raises(SchemaError, match="missing top-level"):
+        validate_payload(payload)
+
+
+def test_validate_rejects_future_schema_version(tmp_path):
+    payload = build_payload("nn", [_result()], quick=False)
+    payload["schema_version"] = SCHEMA_VERSION + 1
+    path = tmp_path / "BENCH_nn.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SchemaError, match="unsupported"):
+        load_payload(str(path))
+
+
+def test_validate_rejects_bad_entries():
+    payload = build_payload("nn", [_result()], quick=False)
+    payload["results"]["conv2d.fwd"]["median_s"] = -1.0
+    with pytest.raises(SchemaError, match="non-negative"):
+        validate_payload(payload)
+    payload = build_payload("nn", [_result()], quick=False)
+    del payload["results"]["conv2d.fwd"]["mad_s"]
+    with pytest.raises(SchemaError, match="missing keys"):
+        validate_payload(payload)
+    payload = build_payload("nn", [_result()], quick=False)
+    payload["results"]["conv2d.fwd"]["repeats"] = 0
+    with pytest.raises(SchemaError, match="repeats"):
+        validate_payload(payload)

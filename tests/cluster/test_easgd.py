@@ -1,9 +1,8 @@
 """Elastic Averaging SGD tests."""
 
-import numpy as np
 import pytest
 
-from repro.cluster import EASGDConfig, EASGDResult, train_easgd
+from repro.cluster import EASGDConfig, train_easgd
 from repro.comm import NetworkProfile
 from repro.core import SGD, ConstantLR
 from repro.data import gaussian_blobs

@@ -9,7 +9,7 @@ P simulated ranks matches the serial full-batch run to fp tolerance.
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterResult, SyncSGDConfig, train_sync_sgd
+from repro.cluster import SyncSGDConfig, train_sync_sgd
 from repro.comm import run_cluster
 from repro.core import SGD, ConstantLR, Trainer
 from repro.nn import BatchNorm, SyncBatchNorm

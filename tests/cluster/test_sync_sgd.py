@@ -11,7 +11,7 @@ don't divide the batch).
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterResult, SyncSGDConfig, train_sync_sgd
+from repro.cluster import SyncSGDConfig, train_sync_sgd
 from repro.comm import NetworkProfile
 from repro.core import LARS, SGD, ConstantLR, PolynomialDecay, Trainer
 from repro.nn.models import micro_resnet, mlp

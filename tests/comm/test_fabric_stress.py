@@ -1,7 +1,6 @@
 """Fabric stress and concurrency tests."""
 
 import numpy as np
-import pytest
 
 from repro.comm import NetworkProfile, SimulatedFabric, run_cluster
 

@@ -78,7 +78,7 @@ class TestBatchLoader:
 
     def test_covers_every_example_once(self):
         x, y = self.data()
-        loader = BatchLoader(x, y, batch_size=32, seed=1)
+        loader = BatchLoader(x, y, batch_size=32, seed=1, auto_advance=False)
         seen = sum(len(yb) for _, yb in loader)
         assert seen == 100
 
@@ -89,21 +89,75 @@ class TestBatchLoader:
 
     def test_epochs_reshuffle(self):
         x, y = self.data()
+        loader = BatchLoader(x, y, batch_size=100, seed=1, auto_advance=False)
+        (b1,), (b2,) = (list(b) for b in loader.epochs(2))
+        assert not np.array_equal(b1[0], b2[0])  # different epoch order
+        assert loader.epoch == 2  # epochs() leaves the loader past the last
+
+    def test_same_epoch_is_deterministic(self):
+        """Iterating without advancing replays the identical epoch."""
+        x, y = self.data()
+        loader = BatchLoader(x, y, batch_size=32, seed=1, augment="heavy",
+                             auto_advance=False)
+        first = [(xb.copy(), yb.copy()) for xb, yb in loader]
+        second = list(loader)
+        assert loader.epoch == 0
+        for (x1, y1), (x2, y2) in zip(first, second):
+            assert np.array_equal(x1, x2) and np.array_equal(y1, y2)
+
+    def test_set_epoch_matches_epochs_iterator(self):
+        x, y = self.data()
+        a = BatchLoader(x, y, batch_size=32, seed=5, auto_advance=False)
+        b = BatchLoader(x, y, batch_size=32, seed=5, auto_advance=False)
+        via_epochs = [yb for batches in a.epochs(3) for _, yb in batches]
+        via_set = []
+        for epoch in range(3):
+            b.set_epoch(epoch)
+            via_set.extend(yb for _, yb in b)
+        assert all(np.array_equal(p, q) for p, q in zip(via_epochs, via_set))
+
+    def test_implicit_advance_warns_once(self):
+        import warnings
+
+        x, y = self.data()
         loader = BatchLoader(x, y, batch_size=100, seed=1)
-        (x1, _), = list(loader)
-        (x2, _), = list(loader)
-        assert not np.array_equal(x1, x2)  # different epoch order
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            list(loader)
+            list(loader)
+        assert loader.epoch == 2  # legacy behaviour preserved by the shim
+        deprecations = [w for w in caught if w.category is DeprecationWarning]
+        assert len(deprecations) == 1
+
+    def test_auto_advance_true_is_silent(self):
+        import warnings
+
+        x, y = self.data()
+        loader = BatchLoader(x, y, batch_size=100, seed=1, auto_advance=True)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            list(loader)
+        assert loader.epoch == 1
+        assert not [w for w in caught if w.category is DeprecationWarning]
+
+    def test_set_epoch_validates(self):
+        x, y = self.data()
+        loader = BatchLoader(x, y, batch_size=32)
+        with pytest.raises(ValueError):
+            loader.set_epoch(-1)
 
     def test_no_shuffle_is_sequential(self):
         x, y = self.data()
-        loader = BatchLoader(x, y, batch_size=40, shuffle=False)
+        loader = BatchLoader(x, y, batch_size=40, shuffle=False,
+                             auto_advance=False)
         xb, yb = next(iter(loader))
         assert np.array_equal(xb, x[:40])
 
     def test_sharding_partitions_batch(self):
         x, y = self.data(64)
-        loaders = [BatchLoader(x, y, 32, world=4, rank=r, seed=2) for r in range(4)]
-        batches = [list(l) for l in loaders]
+        loaders = [BatchLoader(x, y, 32, world=4, rank=r, seed=2,
+                               auto_advance=False) for r in range(4)]
+        batches = [list(ldr) for ldr in loaders]
         # each rank sees 8 examples per global batch
         assert all(len(b[0][1]) == 8 for b in batches)
         total = sum(len(yb) for b in batches for _, yb in b)
@@ -114,14 +168,15 @@ class TestBatchLoader:
         y = np.arange(40)
         seen = []
         for r in range(4):
-            for _, yb in BatchLoader(x, y, 20, world=4, rank=r, seed=3):
+            for _, yb in BatchLoader(x, y, 20, world=4, rank=r, seed=3,
+                                     auto_advance=False):
                 seen.extend(yb.tolist())
         assert sorted(seen) == list(range(40))
 
     def test_augmentation_applied(self):
         x, y = self.data()
-        plain = BatchLoader(x, y, 100, augment="none", seed=4)
-        augd = BatchLoader(x, y, 100, augment="heavy", seed=4)
+        plain = BatchLoader(x, y, 100, augment="none", seed=4, auto_advance=False)
+        augd = BatchLoader(x, y, 100, augment="heavy", seed=4, auto_advance=False)
         (xp, _), = list(plain)
         (xa, _), = list(augd)
         assert not np.array_equal(xp, xa)

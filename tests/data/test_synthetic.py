@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.core import SGD, Trainer
-from repro.data import Dataset, SyntheticConfig, gaussian_blobs, make_dataset
+from repro.data import SyntheticConfig, gaussian_blobs, make_dataset
 from repro.nn.models import mlp
 
 

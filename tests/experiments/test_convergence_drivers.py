@@ -5,7 +5,6 @@ ranges and internal consistency.  The paper-shape assertions live in
 ``benchmarks/`` at ``small`` scale where the phenomena are actually visible.
 """
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

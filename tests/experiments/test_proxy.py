@@ -1,6 +1,5 @@
 """Proxy-runner tests (tiny scale: structural checks, not shape claims)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments.proxy import (

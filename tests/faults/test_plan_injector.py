@@ -1,6 +1,5 @@
 """FaultPlan validation and deterministic FaultInjector decisions."""
 
-import numpy as np
 import pytest
 
 from repro.comm import RetransmitExhausted, RetransmitPolicy

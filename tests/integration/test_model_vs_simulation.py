@@ -6,7 +6,6 @@ model (repro.perfmodel) and actual execution on the simulated fabric
 the fabric's measured makespan must equal the analytic prediction.
 """
 
-import numpy as np
 import pytest
 
 from repro.cluster import SyncSGDConfig, train_sync_sgd

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import ConcatBranches, Conv2D, MaxPool2D, ReLU, Sequential
+from repro.nn import ConcatBranches, Conv2D, ReLU, Sequential
 from repro.nn.gradcheck import check_layer_gradients
 from repro.nn.models import (
     build_model,

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.nn import SoftmaxCrossEntropy, model_cost
+from repro.nn import SoftmaxCrossEntropy
 from repro.nn.gradcheck import check_model_loss_gradients
 from repro.nn.models import (
     build_model,

@@ -1,7 +1,6 @@
 """Tests for Parameter gradient bookkeeping."""
 
 import numpy as np
-import pytest
 
 from repro.nn import Parameter
 

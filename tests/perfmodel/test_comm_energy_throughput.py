@@ -1,7 +1,6 @@
 """Comm-analysis (Figures 6/8/9/10), energy (Table 12) and throughput
 (Figure 3) tests."""
 
-import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -19,7 +18,6 @@ from repro.perfmodel import (
     messages,
     sweep_batch_sizes,
     throughput_curve,
-    total_flops,
     training_energy,
     training_memory_bytes,
 )

@@ -5,7 +5,6 @@ import pytest
 from repro.perfmodel import (
     DEVICES,
     ENERGY_TABLE_45NM,
-    NETWORKS,
     DeviceProfile,
     device,
     network,

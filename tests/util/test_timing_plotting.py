@@ -56,10 +56,10 @@ class TestLayerProfiler:
 
     def test_unwrap_restores(self):
         model = mlp(6, [8], 3)
-        originals = [l.forward for l in model.layers]
+        originals = [layer.forward for layer in model.layers]
         prof = LayerProfiler(model)
         prof.unwrap()
-        assert [l.forward for l in model.layers] == originals
+        assert [layer.forward for layer in model.layers] == originals
 
     def test_requires_sequential(self):
         from repro.nn import Dense
