@@ -25,6 +25,7 @@ import fnmatch
 from dataclasses import dataclass, field
 from typing import Callable
 
+from ..obs.trace import get_tracer
 from ..util.timing import measure, median, median_abs_deviation
 
 __all__ = [
@@ -140,11 +141,29 @@ def select(areas: list[str] | None = None, pattern: str | None = None) -> list[B
 
 
 def run_benchmark(bench: Benchmark, quick: bool = False) -> BenchResult:
-    """Set up and time one benchmark (quick mode = fewer repeats)."""
+    """Set up and time one benchmark (quick mode = fewer repeats).
+
+    When the global obs tracer is enabled (``repro bench run --trace``),
+    the whole benchmark gets a ``bench.<name>`` span with per-sample child
+    spans, so outlier samples are visible on the Perfetto timeline.  The
+    timed closure itself is untouched when tracing is off — benchmarks pay
+    nothing for the hook.
+    """
     fn = bench.setup()
     repeats = bench.quick_repeats if quick else bench.repeats
     warmup = bench.quick_warmup if quick else bench.warmup
-    samples = measure(fn, repeats=repeats, warmup=warmup)
+    tracer = get_tracer()
+    if tracer.enabled:
+        raw_fn = fn
+
+        def fn():
+            with tracer.span("bench.sample", bench=bench.name):
+                return raw_fn()
+
+        with tracer.span(f"bench.{bench.name}", area=bench.area, quick=quick):
+            samples = measure(fn, repeats=repeats, warmup=warmup)
+    else:
+        samples = measure(fn, repeats=repeats, warmup=warmup)
     return BenchResult(
         name=bench.name,
         area=bench.area,

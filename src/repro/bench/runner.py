@@ -38,6 +38,12 @@ def add_bench_parser(sub) -> None:
         metavar="GLOB",
         help="fnmatch pattern on benchmark names (e.g. 'conv2d.*')",
     )
+    run.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="capture per-benchmark/per-sample spans and write Chrome trace-event JSON here",
+    )
 
     comp = bench_sub.add_parser("compare", help="diff two result sets; exit 1 on regression")
     comp.add_argument("baseline", help="baseline directory or BENCH_*.json file")
@@ -70,10 +76,25 @@ def _parse_areas(spec: str | None) -> list[str] | None:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     areas = _parse_areas(args.areas)
-    results = run_selected(areas=areas, pattern=args.filter, quick=args.quick, progress=print)
-    if not results:
-        print("no benchmarks matched the selection")
-        return 1
+    if args.trace:
+        from ..obs import get_tracer, set_tracer
+        from ..obs.trace import Tracer
+
+        # A dedicated tracer (not the global enable()) so metrics/events
+        # stay off and benchmark timings only pay for span capture.
+        prev = get_tracer()
+        set_tracer(Tracer(enabled=True))
+    try:
+        results = run_selected(areas=areas, pattern=args.filter, quick=args.quick, progress=print)
+        if not results:
+            print("no benchmarks matched the selection")
+            return 1
+        if args.trace:
+            get_tracer().export_chrome(args.trace)
+            print(f"wrote {args.trace}")
+    finally:
+        if args.trace:
+            set_tracer(prev)
     paths = write_area_files(results, args.out_dir, quick=args.quick)
     for path in paths:
         print(f"wrote {path}")

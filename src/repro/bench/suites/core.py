@@ -1,7 +1,11 @@
-"""Benchmarks for optimizer updates (SGD momentum, LARS trust-ratio).
+"""Benchmarks for optimizer updates (SGD momentum, LARS trust-ratio) and
+the obs tracer's span overhead.
 
 LARS pays two extra norms per parameter over SGD; tracking both on the same
 parameter set keeps that overhead ratio visible as the model zoo evolves.
+The two ``obs.span.*`` entries pin the telemetry costs the instrumented hot
+paths rely on: the disabled path must stay near-free (every ``train_step``
+crosses it), and the enabled path bounds what ``--trace`` runs pay.
 """
 
 from __future__ import annotations
@@ -53,3 +57,47 @@ def _lars_step():
     _, params = _model_with_grads()
     opt = LARS(params)
     return lambda: opt.step(0.01)
+
+
+_SPANS_PER_CALL = 1000
+
+
+@register(
+    "obs.span.disabled",
+    area="core",
+    params={"spans": _SPANS_PER_CALL, "path": "module-level timed(), tracer off"},
+    repeats=30,
+)
+def _span_disabled():
+    # The global fast path every instrumented hot loop crosses when
+    # telemetry is off: one enabled check, shared no-op span.
+    from repro.obs import timed
+
+    def run():
+        for _ in range(_SPANS_PER_CALL):
+            with timed("bench.noop"):
+                pass
+
+    return run
+
+
+@register(
+    "obs.span.enabled",
+    area="core",
+    params={"spans": _SPANS_PER_CALL, "path": "local Tracer(enabled=True)"},
+    repeats=30,
+)
+def _span_enabled():
+    # A local tracer so the global stays disabled — leaving it enabled
+    # would tax every later benchmark area (suites run in area order).
+    from repro.obs.trace import Tracer
+
+    tracer = Tracer(enabled=True)
+
+    def run():
+        tracer.clear()
+        for _ in range(_SPANS_PER_CALL):
+            with tracer.span("bench.noop"):
+                pass
+
+    return run

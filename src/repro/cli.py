@@ -15,6 +15,14 @@ Commands
     Run the microbenchmark suites (``bench run``) or diff two result sets
     against a regression threshold (``bench compare``); see
     ``docs/benchmarking.md``.
+``trace``
+    Capture a Chrome trace of a small sync-SGD run (``trace export``),
+    summarise or schema-check trace/metrics files; see
+    ``docs/observability.md``.
+
+The global ``--quiet``/``--verbose`` flags (before the subcommand) set the
+console log level: ``--quiet`` suppresses informational output, ``--verbose``
+adds debug lines.
 """
 
 from __future__ import annotations
@@ -23,6 +31,8 @@ import argparse
 import sys
 
 import numpy as np
+
+from .obs.console import configure_verbosity, get_console
 
 
 def _add_train_parser(sub) -> None:
@@ -64,6 +74,12 @@ def _add_train_parser(sub) -> None:
     fault.add_argument("--recv-timeout", type=float, default=10.0,
                        help="wall seconds a recv waits before declaring a "
                             "peer unresponsive (fault runs only)")
+    obs = p.add_argument_group("telemetry (see docs/observability.md)")
+    obs.add_argument("--trace", default=None, metavar="PATH",
+                     help="capture spans and write Chrome trace-event JSON "
+                          "here (open in chrome://tracing or Perfetto)")
+    obs.add_argument("--metrics-out", default=None, metavar="PATH",
+                     help="write a metrics snapshot (JSON) here after the run")
 
 
 def _parse_rank_map(pairs: list[str], flag: str, cast) -> dict[int, float | int]:
@@ -99,6 +115,14 @@ def cmd_train(args) -> int:
     from .data import proxy_dataset
     from .nn.models import build_model
 
+    console = get_console()
+    telemetry = bool(args.trace or args.metrics_out)
+    if telemetry:
+        from .obs import enable, reset
+
+        enable()
+        reset()
+
     ds = proxy_dataset(args.dataset)
     kwargs = {"num_classes": ds.num_classes, "seed": args.seed}
     if args.model == "micro_alexnet":
@@ -123,9 +147,9 @@ def cmd_train(args) -> int:
     }
     opt_builder = builders[args.optimizer]
 
-    print(f"{args.model}: {model.num_parameters():,} parameters; "
-          f"batch {args.batch} ({args.batch / args.base_batch:.0f}x baseline), "
-          f"peak lr {peak:.3g}, {args.optimizer}")
+    console.info(f"{args.model}: {model.num_parameters():,} parameters; "
+                 f"batch {args.batch} ({args.batch / args.base_batch:.0f}x baseline), "
+                 f"peak lr {peak:.3g}, {args.optimizer}")
 
     if args.world > 1:
         from .cluster import SyncSGDConfig, train_sync_sgd
@@ -159,12 +183,12 @@ def cmd_train(args) -> int:
                                checkpoint_dir=args.checkpoint_dir)
         res = train_sync_sgd(builder, opt_builder, schedule,
                              ds.x_train, ds.y_train, ds.x_test, ds.y_test, config)
-        print(f"final test accuracy: {res.final_test_accuracy:.4f} "
-              f"({args.world} simulated ranks, {res.messages} messages)")
+        console.info(f"final test accuracy: {res.final_test_accuracy:.4f} "
+                     f"({args.world} simulated ranks, {res.messages} messages)")
         if res.fault_stats is not None:
-            print(f"faults: {res.fault_stats.summary()}")
+            console.info(f"faults: {res.fault_stats.summary()}")
             for report in res.fault_reports:
-                print(report.format())
+                console.info(report.format())
     else:
         trainer = Trainer(model, opt_builder(model.parameters()), schedule,
                           shuffle_seed=args.seed)
@@ -172,10 +196,23 @@ def cmd_train(args) -> int:
             res = trainer.fit(ds.x_train, ds.y_train, ds.x_test, ds.y_test,
                               epochs=args.epochs,
                               batch_size=min(args.batch, ds.n_train),
-                              callback=lambda r: print(
+                              callback=lambda r: console.info(
                                   f"  epoch {r.epoch:3d}  loss {r.train_loss:7.4f}  "
                                   f"test {r.test_accuracy:.4f}"))
-        print(f"peak test accuracy: {res.peak_test_accuracy:.4f}")
+        console.info(f"peak test accuracy: {res.peak_test_accuracy:.4f}")
+
+    if telemetry:
+        from .obs import disable, export_metrics, export_trace, reset
+
+        if args.trace:
+            export_trace(args.trace)
+            console.info(f"wrote trace {args.trace} "
+                         f"(open in chrome://tracing or ui.perfetto.dev)")
+        if args.metrics_out:
+            export_metrics(args.metrics_out)
+            console.info(f"wrote metrics {args.metrics_out}")
+        disable()
+        reset()
     return 0
 
 
@@ -196,16 +233,17 @@ def cmd_predict(args) -> int:
         algorithm=args.algorithm,
     )
     b = est.iteration
-    print(f"{args.model}, {args.epochs} epochs, batch {args.batch}, "
-          f"{args.processors}x {est.device}, {args.algorithm} allreduce")
-    print(f"  iterations:        {est.iterations:,}")
-    print(f"  local batch:       {b.local_batch:.1f}")
-    print(f"  t_iter:            {b.total_seconds * 1e3:.1f} ms "
-          f"(compute {b.compute_seconds * 1e3:.1f} + comm {b.comm_seconds * 1e3:.1f})")
-    print(f"  comm fraction:     {b.comm_fraction:.1%}")
-    print(f"  throughput:        {est.images_per_second:,.0f} images/s")
-    print(f"  total time:        {est.total_minutes:.1f} minutes "
-          f"({est.total_hours:.2f} h)")
+    console = get_console()
+    console.info(f"{args.model}, {args.epochs} epochs, batch {args.batch}, "
+                 f"{args.processors}x {est.device}, {args.algorithm} allreduce")
+    console.info(f"  iterations:        {est.iterations:,}")
+    console.info(f"  local batch:       {b.local_batch:.1f}")
+    console.info(f"  t_iter:            {b.total_seconds * 1e3:.1f} ms "
+                 f"(compute {b.compute_seconds * 1e3:.1f} + comm {b.comm_seconds * 1e3:.1f})")
+    console.info(f"  comm fraction:     {b.comm_fraction:.1%}")
+    console.info(f"  throughput:        {est.images_per_second:,.0f} images/s")
+    console.info(f"  total time:        {est.total_minutes:.1f} minutes "
+                 f"({est.total_hours:.2f} h)")
     return 0
 
 
@@ -214,35 +252,43 @@ def cmd_info(args) -> int:
     from .nn.models import PAPER_INPUT_SHAPES, paper_model_cost
     from .perfmodel import DEVICES, NETWORKS
 
-    print("== model zoo (full-size paper models) ==")
+    console = get_console()
+    console.info("== model zoo (full-size paper models) ==")
     for name in PAPER_INPUT_SHAPES:
         c = paper_model_cost(name)
-        print(f"  {name:<12} {c.parameters / 1e6:7.1f} M params   "
-              f"{c.flops_per_image / 1e9:6.2f} Gflop/image   "
-              f"ratio {c.scaling_ratio:7.1f}")
-    print("\n== devices ==")
+        console.info(f"  {name:<12} {c.parameters / 1e6:7.1f} M params   "
+                     f"{c.flops_per_image / 1e9:6.2f} Gflop/image   "
+                     f"ratio {c.scaling_ratio:7.1f}")
+    console.info("\n== devices ==")
     for key, d in DEVICES.items():
-        print(f"  {key:<9} {d.name:<28} peak {d.peak_flops / 1e12:5.1f} Tflops")
-    print("\n== networks ==")
+        console.info(f"  {key:<9} {d.name:<28} peak {d.peak_flops / 1e12:5.1f} Tflops")
+    console.info("\n== networks ==")
     for key, n in NETWORKS.items():
-        print(f"  {key:<9} {n.name:<28} alpha {n.alpha * 1e6:5.2f} us  "
-              f"beta {n.beta * 1e9:5.3f} ns/B")
+        console.info(f"  {key:<9} {n.name:<28} alpha {n.alpha * 1e6:5.2f} us  "
+                     f"beta {n.beta * 1e9:5.3f} ns/B")
     return 0
 
 
 def main(argv: list[str] | None = None) -> int:
     """Console entry point (see module docstring for the commands)."""
     from .bench.runner import add_bench_parser, cmd_bench
+    from .obs.cli import add_trace_parser, cmd_trace
 
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only show warnings and errors")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also show debug output")
     sub = parser.add_subparsers(dest="command", required=True)
     _add_train_parser(sub)
     _add_predict_parser(sub)
     sub.add_parser("info", help="print model/device/network tables")
     add_bench_parser(sub)
+    add_trace_parser(sub)
     args = parser.parse_args(argv)
+    configure_verbosity(quiet=args.quiet, verbose=args.verbose)
     commands = {"train": cmd_train, "predict": cmd_predict, "info": cmd_info,
-                "bench": cmd_bench}
+                "bench": cmd_bench, "trace": cmd_trace}
     return commands[args.command](args)
 
 

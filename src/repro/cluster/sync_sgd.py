@@ -71,6 +71,9 @@ from ..faults import (
 from ..nn.layers.base import Module
 from ..nn.layers.norm import SyncBatchNorm
 from ..nn.losses import SoftmaxCrossEntropy
+from ..obs import timed as _timed
+from ..obs.events import publish as _publish
+from ..obs.metrics import gauge as _gauge
 from .packing import flatten_grads, flatten_params, unflatten_grads, unflatten_params
 from .sharding import epoch_permutation, shard_batch
 
@@ -403,36 +406,54 @@ def train_sync_sgd(
                     # shards are uneven
                     weight = len(local_idx) / gbs
 
-                    model.train()
-                    optimizer.zero_grad()
-                    # With SyncBatchNorm every rank must join the collective
-                    # forward/backward, even on an empty shard, and the loss
-                    # gradient is pre-scaled so BN's global reductions see
-                    # consistent per-example 1/N scaling.
-                    if len(local_idx) > 0 or uses_sync_bn:
-                        xb, yb = x_train[local_idx], y_train[local_idx]
-                        logits = model.forward(xb)
-                        batch_loss = loss_fn.forward(logits, yb)
-                        grad = loss_fn.backward()
-                        if uses_sync_bn:
-                            grad = grad * weight
-                        model.backward(grad)
-                        if len(local_idx) > 0:
-                            loss_sum += batch_loss * len(local_idx)
-                            correct_sum += top1_accuracy(logits, yb) * len(local_idx)
-                            seen += len(local_idx)
-                            if cfg.compute_time is not None:
-                                comm.compute(cfg.compute_time(len(local_idx)))
-                    combine_weight = 1.0 if uses_sync_bn else weight
+                    with _timed("trainer.train_step", rank=comm.rank,
+                                iteration=iteration, epoch=epoch):
+                        with _timed("cluster.compute", rank=comm.rank,
+                                    examples=len(local_idx)):
+                            model.train()
+                            optimizer.zero_grad()
+                            # With SyncBatchNorm every rank must join the
+                            # collective forward/backward, even on an empty
+                            # shard, and the loss gradient is pre-scaled so
+                            # BN's global reductions see consistent
+                            # per-example 1/N scaling.
+                            if len(local_idx) > 0 or uses_sync_bn:
+                                xb, yb = x_train[local_idx], y_train[local_idx]
+                                logits = model.forward(xb)
+                                batch_loss = loss_fn.forward(logits, yb)
+                                grad = loss_fn.backward()
+                                if uses_sync_bn:
+                                    grad = grad * weight
+                                model.backward(grad)
+                                if len(local_idx) > 0:
+                                    loss_sum += batch_loss * len(local_idx)
+                                    correct_sum += (
+                                        top1_accuracy(logits, yb) * len(local_idx)
+                                    )
+                                    seen += len(local_idx)
+                                    if cfg.compute_time is not None:
+                                        comm.compute(
+                                            cfg.compute_time(len(local_idx))
+                                        )
+                        combine_weight = 1.0 if uses_sync_bn else weight
 
-                    if cfg.mode == "allreduce":
-                        _sync_gradient_allreduce(comm, model, combine_weight,
-                                                 cfg.algorithm, compressor,
-                                                 bucket=grad_bucket)
-                        optimizer.step(lr)
-                    else:
-                        _sync_gradient_master(comm, model, optimizer,
-                                              combine_weight, lr)
+                        # Simulated seconds this rank spends in the gradient
+                        # exchange: its own send cost plus any wait for
+                        # slower peers — the straggler-wait signal.
+                        sync_start = comm.time
+                        with _timed("cluster.grad_sync", rank=comm.rank,
+                                    mode=cfg.mode):
+                            if cfg.mode == "allreduce":
+                                _sync_gradient_allreduce(
+                                    comm, model, combine_weight,
+                                    cfg.algorithm, compressor,
+                                    bucket=grad_bucket)
+                                optimizer.step(lr)
+                            else:
+                                _sync_gradient_master(comm, model, optimizer,
+                                                      combine_weight, lr)
+                        _gauge("cluster.straggler_wait_s",
+                               rank=comm.rank).set(comm.time - sync_start)
                     iteration += 1
 
                 # per-epoch metric aggregation: one tiny allreduce
@@ -458,6 +479,8 @@ def train_sync_sgd(
                         )
                     )
                     time_curve.append((epoch + 1, comm.time, test_acc))
+                    _publish("cluster.epoch", epoch=epoch + 1,
+                             test_accuracy=test_acc, sim_seconds=comm.time)
                     if (
                         store is not None
                         and (epoch + 1) % cfg.checkpoint_every == 0
@@ -483,6 +506,8 @@ def train_sync_sgd(
                                             iteration=iteration)
                             snapshot["path"] = path
                         store.push(snapshot)
+                        _publish("checkpoint.save", epoch=epoch + 1,
+                                 path=snapshot["path"], sim_seconds=comm.time)
 
             if comm.rank == 0:
                 return {
@@ -636,6 +661,9 @@ def train_sync_sgd(
                 stats=total_stats,
             )
             reports.append(report)
+            _publish("recovery.abort", cause=report.cause,
+                     dead_ranks=list(dead), world_before=world,
+                     world_after=survivors)
             raise TrainingAborted(report)
 
         # -- elastic restart from the latest snapshot ------------------------
@@ -682,6 +710,9 @@ def train_sync_sgd(
                 world_after=new_world,
             )
         )
+        _publish("recovery.restart", cause=cause, dead_ranks=list(dead),
+                 restarted_from_epoch=start_epoch, world_before=world,
+                 world_after=new_world)
         plan = plan.without_rank(set(dead), world)
         world = new_world
         cfg = replace(cfg, world=world, algorithm=new_algorithm,

@@ -28,7 +28,31 @@ import math
 
 import numpy as np
 
+from ..obs import NULL_SPAN, timed as _timed
+from ..obs.metrics import get_registry as _get_registry
+from ..obs.trace import get_tracer as _get_tracer
 from .fabric import NetworkProfile
+
+
+def _coll_span(op: str, comm, payload=None, algorithm: str | None = None):
+    """Span + per-collective wall-latency histogram for one collective call.
+
+    The histogram series is ``comm.<op>_s`` labeled by algorithm (where one
+    exists), so e.g. tree vs. ring allreduce latencies stay separable; the
+    span carries rank/nbytes for the timeline view.  Collapses to the shared
+    no-op before building any attributes when telemetry is disabled.
+    """
+    if not (_get_tracer().enabled or _get_registry().enabled):
+        return NULL_SPAN
+    attrs = {"rank": comm.rank, "size": comm.size}
+    if payload is not None:
+        attrs["nbytes"] = int(getattr(payload, "nbytes", 0))
+    labels = None
+    if algorithm is not None:
+        attrs["algorithm"] = algorithm
+        labels = {"algorithm": algorithm}
+    return _timed(f"comm.{op}", hist_labels=labels, **attrs)
+
 
 __all__ = [
     "bcast_tree",
@@ -59,17 +83,18 @@ def bcast_tree(comm, value, root: int = 0, tag: int = 0):
     size, rank = comm.size, comm.rank
     if size == 1:
         return value
-    v = _vrank(rank, root, size)
-    mask = 1
-    while mask < size:
-        if v < mask:
-            dst = v + mask
-            if dst < size:
-                comm.send(_actual(dst, root, size), value, tag=tag)
-        elif v < 2 * mask:
-            value = comm.recv(_actual(v - mask, root, size), tag=tag)
-        mask <<= 1
-    return value
+    with _coll_span("bcast", comm, value):
+        v = _vrank(rank, root, size)
+        mask = 1
+        while mask < size:
+            if v < mask:
+                dst = v + mask
+                if dst < size:
+                    comm.send(_actual(dst, root, size), value, tag=tag)
+            elif v < 2 * mask:
+                value = comm.recv(_actual(v - mask, root, size), tag=tag)
+            mask <<= 1
+        return value
 
 
 def reduce_tree(comm, array: np.ndarray, root: int = 0, tag: int = 0):
@@ -83,23 +108,25 @@ def reduce_tree(comm, array: np.ndarray, root: int = 0, tag: int = 0):
     acc = np.array(array, dtype=np.float64, copy=True)
     if size == 1:
         return acc
-    v = _vrank(rank, root, size)
-    mask = 1
-    while mask < size:
-        if v & mask:
-            comm.send(_actual(v - mask, root, size), acc, tag=tag)
-            return None
-        src = v + mask
-        if src < size:
-            acc += comm.recv(_actual(src, root, size), tag=tag)
-        mask <<= 1
-    return acc
+    with _coll_span("reduce", comm, acc):
+        v = _vrank(rank, root, size)
+        mask = 1
+        while mask < size:
+            if v & mask:
+                comm.send(_actual(v - mask, root, size), acc, tag=tag)
+                return None
+            src = v + mask
+            if src < size:
+                acc += comm.recv(_actual(src, root, size), tag=tag)
+            mask <<= 1
+        return acc
 
 
 def allreduce_tree(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
     """reduce-to-0 followed by broadcast — the paper's log(P) model."""
-    reduced = reduce_tree(comm, array, root=0, tag=tag)
-    return bcast_tree(comm, reduced, root=0, tag=tag + 1)
+    with _coll_span("allreduce", comm, array, algorithm="tree"):
+        reduced = reduce_tree(comm, array, root=0, tag=tag)
+        return bcast_tree(comm, reduced, root=0, tag=tag + 1)
 
 
 def allreduce_ring(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
@@ -111,36 +138,37 @@ def allreduce_ring(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
     """
     if comm.size == 1:
         return np.array(array, dtype=np.float64, copy=True)
-    size, rank = comm.size, comm.rank
-    flat = np.asarray(array, dtype=np.float64).ravel().copy()
-    # Chunk boundaries follow np.array_split's convention (first n % P
-    # chunks get the extra element) computed arithmetically — no temporary
-    # chunk views on the per-iteration critical path.
-    base, extra = divmod(flat.size, size)
-    offsets = [0] * (size + 1)
-    for r in range(size):
-        offsets[r + 1] = offsets[r] + base + (1 if r < extra else 0)
-    right = (rank + 1) % size
-    left = (rank - 1) % size
+    with _coll_span("allreduce", comm, array, algorithm="ring"):
+        size, rank = comm.size, comm.rank
+        flat = np.asarray(array, dtype=np.float64).ravel().copy()
+        # Chunk boundaries follow np.array_split's convention (first n % P
+        # chunks get the extra element) computed arithmetically — no temporary
+        # chunk views on the per-iteration critical path.
+        base, extra = divmod(flat.size, size)
+        offsets = [0] * (size + 1)
+        for r in range(size):
+            offsets[r + 1] = offsets[r] + base + (1 if r < extra else 0)
+        right = (rank + 1) % size
+        left = (rank - 1) % size
 
-    # reduce-scatter: after P-1 steps, rank owns the full sum of chunk
-    # (rank+1) % size
-    for step in range(size - 1):
-        send_idx = (rank - step) % size
-        recv_idx = (rank - step - 1) % size
-        comm.send(right, flat[offsets[send_idx] : offsets[send_idx + 1]], tag=tag)
-        incoming = comm.recv(left, tag=tag)
-        flat[offsets[recv_idx] : offsets[recv_idx + 1]] += incoming
+        # reduce-scatter: after P-1 steps, rank owns the full sum of chunk
+        # (rank+1) % size
+        for step in range(size - 1):
+            send_idx = (rank - step) % size
+            recv_idx = (rank - step - 1) % size
+            comm.send(right, flat[offsets[send_idx] : offsets[send_idx + 1]], tag=tag)
+            incoming = comm.recv(left, tag=tag)
+            flat[offsets[recv_idx] : offsets[recv_idx + 1]] += incoming
 
-    # allgather: circulate the completed chunks
-    for step in range(size - 1):
-        send_idx = (rank - step + 1) % size
-        recv_idx = (rank - step) % size
-        comm.send(right, flat[offsets[send_idx] : offsets[send_idx + 1]], tag=tag + 1)
-        incoming = comm.recv(left, tag=tag + 1)
-        flat[offsets[recv_idx] : offsets[recv_idx + 1]] = incoming
+        # allgather: circulate the completed chunks
+        for step in range(size - 1):
+            send_idx = (rank - step + 1) % size
+            recv_idx = (rank - step) % size
+            comm.send(right, flat[offsets[send_idx] : offsets[send_idx + 1]], tag=tag + 1)
+            incoming = comm.recv(left, tag=tag + 1)
+            flat[offsets[recv_idx] : offsets[recv_idx + 1]] = incoming
 
-    return flat.reshape(np.asarray(array).shape)
+        return flat.reshape(np.asarray(array).shape)
 
 
 def allreduce_rhd(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
@@ -163,30 +191,31 @@ def allreduce_rhd(comm, array: np.ndarray, tag: int = 0) -> np.ndarray:
         mid = (lo + hi) // 2
         return (mid, hi) if take_high else (lo, mid)
 
-    # reduce-scatter by recursive halving; record each level's split so the
-    # allgather can replay it in reverse
-    levels: list[tuple[int, tuple[int, int], tuple[int, int]]] = []
-    lo, hi = 0, n
-    mask = size >> 1
-    while mask:
-        partner = rank ^ mask
-        i_am_high = bool(rank & mask)
-        keep = region(lo, hi, i_am_high)
-        give = region(lo, hi, not i_am_high)
-        comm.send(partner, flat[give[0] : give[1]], tag=tag)
-        flat[keep[0] : keep[1]] += comm.recv(partner, tag=tag)
-        levels.append((partner, keep, give))
-        lo, hi = keep
-        mask >>= 1
+    with _coll_span("allreduce", comm, array, algorithm="rhd"):
+        # reduce-scatter by recursive halving; record each level's split so
+        # the allgather can replay it in reverse
+        levels: list[tuple[int, tuple[int, int], tuple[int, int]]] = []
+        lo, hi = 0, n
+        mask = size >> 1
+        while mask:
+            partner = rank ^ mask
+            i_am_high = bool(rank & mask)
+            keep = region(lo, hi, i_am_high)
+            give = region(lo, hi, not i_am_high)
+            comm.send(partner, flat[give[0] : give[1]], tag=tag)
+            flat[keep[0] : keep[1]] += comm.recv(partner, tag=tag)
+            levels.append((partner, keep, give))
+            lo, hi = keep
+            mask >>= 1
 
-    # allgather by recursive doubling: at each reversed level I own `keep`
-    # fully reduced and my partner owns the sibling `give`; exchanging them
-    # reconstructs the parent region.
-    for partner, keep, give in reversed(levels):
-        comm.send(partner, flat[keep[0] : keep[1]], tag=tag + 1)
-        flat[give[0] : give[1]] = comm.recv(partner, tag=tag + 1)
+        # allgather by recursive doubling: at each reversed level I own
+        # `keep` fully reduced and my partner owns the sibling `give`;
+        # exchanging them reconstructs the parent region.
+        for partner, keep, give in reversed(levels):
+            comm.send(partner, flat[keep[0] : keep[1]], tag=tag + 1)
+            flat[give[0] : give[1]] = comm.recv(partner, tag=tag + 1)
 
-    return flat.reshape(np.asarray(array).shape)
+        return flat.reshape(np.asarray(array).shape)
 
 
 def allgather_ring(comm, array, tag: int = 0) -> list:
@@ -200,13 +229,14 @@ def allgather_ring(comm, array, tag: int = 0) -> list:
     pieces[rank] = np.array(array, copy=True) if isinstance(array, np.ndarray) else array
     if size == 1:
         return pieces
-    right, left = (rank + 1) % size, (rank - 1) % size
-    for step in range(size - 1):
-        send_idx = (rank - step) % size
-        recv_idx = (rank - step - 1) % size
-        comm.send(right, pieces[send_idx], tag=tag)
-        pieces[recv_idx] = comm.recv(left, tag=tag)
-    return pieces
+    with _coll_span("allgather", comm, array):
+        right, left = (rank + 1) % size, (rank - 1) % size
+        for step in range(size - 1):
+            send_idx = (rank - step) % size
+            recv_idx = (rank - step - 1) % size
+            comm.send(right, pieces[send_idx], tag=tag)
+            pieces[recv_idx] = comm.recv(left, tag=tag)
+        return pieces
 
 
 def barrier_dissemination(comm, tag: int = 0) -> None:
@@ -214,12 +244,13 @@ def barrier_dissemination(comm, tag: int = 0) -> None:
     size, rank = comm.size, comm.rank
     if size == 1:
         return
-    k = 1
-    while k < size:
-        comm.send((rank + k) % size, np.zeros(0), tag=tag)
-        comm.recv((rank - k) % size, tag=tag)
-        k <<= 1
-        tag += 1
+    with _coll_span("barrier", comm):
+        k = 1
+        while k < size:
+            comm.send((rank + k) % size, np.zeros(0), tag=tag)
+            comm.recv((rank - k) % size, tag=tag)
+            k <<= 1
+            tag += 1
 
 
 ALLREDUCE_ALGORITHMS = {

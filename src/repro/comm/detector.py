@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import threading
 
+from ..obs.events import publish as _publish
 from .errors import FabricTimeout
 
 __all__ = ["FailureDetector", "PeerStatus"]
@@ -85,7 +86,10 @@ class FailureDetector:
 
     def diagnose_timeout(self, exc: FabricTimeout) -> str:
         """Verdict for the peer a :class:`FabricTimeout` was waiting on."""
-        return self.diagnose(exc.src)
+        verdict = self.diagnose(exc.src)
+        _publish("detector.verdict", rank=self.rank, peer=exc.src,
+                 verdict=verdict, timeout_s=exc.timeout)
+        return verdict
 
     def dead_peers(self) -> set[int]:
         """Transport-confirmed dead ranks (identical on every survivor)."""

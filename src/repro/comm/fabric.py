@@ -39,6 +39,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..obs.metrics import counter as _counter, get_registry as _get_registry
 from .clock import LogicalClock
 from .errors import ClusterHalted, FabricTimeout, PeerDeadError
 
@@ -106,6 +107,18 @@ class FabricStats:
     def record(self, nbytes: int) -> None:
         self.messages += 1
         self.bytes += nbytes
+
+
+def _record_message(kind: str, nbytes: int) -> None:
+    """Mirror one wire message into the obs metrics registry.
+
+    Separate from :class:`FabricStats` (which experiments always need) so
+    the hot path pays a single ``enabled`` check when telemetry is off.
+    """
+    if not _get_registry().enabled:
+        return
+    _counter("comm.messages", kind=kind).inc()
+    _counter("comm.bytes", kind=kind).inc(nbytes)
 
 
 def payload_nbytes(payload) -> int:
@@ -214,6 +227,7 @@ class SimulatedFabric:
         arrival = t_start + self.profile.beta * nbytes + extra
         with self._stats_lock:
             self.stats.record(nbytes)
+        _record_message("isend", nbytes)
         self._deliver(Envelope(payload, nbytes, arrival, src, tag), dst)
 
     def send(self, src: int, dst: int, payload, tag: int = 0) -> None:
@@ -236,6 +250,7 @@ class SimulatedFabric:
         t_send = self.clocks[src].advance(cost)
         with self._stats_lock:
             self.stats.record(nbytes)
+        _record_message("send", nbytes)
         self._deliver(Envelope(payload, nbytes, arrival_time=t_send, src=src,
                                tag=tag), dst)
 

@@ -41,7 +41,15 @@ class RunningMean:
 
     @property
     def mean(self) -> float:
-        return self.total / self.weight if self.weight else 0.0
+        """Weighted mean of the values seen so far.
+
+        Returns ``nan`` when no weight has been accumulated: the mean of an
+        empty stream is undefined, and a silent ``0.0`` is indistinguishable
+        from a genuine zero average (e.g. 0% accuracy), which let empty-eval
+        bugs pass unnoticed.  ``nan`` propagates loudly through downstream
+        arithmetic and fails ``==`` comparisons in tests.
+        """
+        return self.total / self.weight if self.weight else float("nan")
 
     def reset(self) -> None:
         self.total = 0.0

@@ -15,6 +15,8 @@ import numpy as np
 
 from ..nn.layers.base import Module
 from ..nn.losses import SoftmaxCrossEntropy
+from ..obs import timed as _timed
+from ..obs.events import publish as _publish
 from .metrics import EpochRecord, RunningMean, top1_accuracy
 from .optimizer import Optimizer
 from .schedules import ConstantLR, Schedule
@@ -108,25 +110,26 @@ class Trainer:
 
         Returns (mean loss, top-1 train accuracy on the batch).
         """
-        self.model.train()
-        self.optimizer.zero_grad()
         n = len(x)
         chunk = n if micro_batch_size is None else int(micro_batch_size)
         if chunk <= 0:
             raise ValueError("micro_batch_size must be positive")
-        loss_sum = 0.0
-        correct = 0.0
-        for lo in range(0, n, chunk):
-            xb, yb = x[lo : lo + chunk], y[lo : lo + chunk]
-            logits = self.model.forward(xb)
-            loss_val = self.loss.forward(logits, yb)
-            weight = len(xb) / n
-            self.model.backward(self.loss.backward() * weight)
-            loss_sum += loss_val * len(xb)
-            correct += top1_accuracy(logits, yb) * len(xb)
-        lr = self.schedule(self.iteration)
-        self.optimizer.step(lr)
-        self.iteration += 1
+        with _timed("trainer.train_step", iteration=self.iteration, batch=n):
+            self.model.train()
+            self.optimizer.zero_grad()
+            loss_sum = 0.0
+            correct = 0.0
+            for lo in range(0, n, chunk):
+                xb, yb = x[lo : lo + chunk], y[lo : lo + chunk]
+                logits = self.model.forward(xb)
+                loss_val = self.loss.forward(logits, yb)
+                weight = len(xb) / n
+                self.model.backward(self.loss.backward() * weight)
+                loss_sum += loss_val * len(xb)
+                correct += top1_accuracy(logits, yb) * len(xb)
+            lr = self.schedule(self.iteration)
+            self.optimizer.step(lr)
+            self.iteration += 1
         return loss_sum / n, correct / n
 
     # -- evaluation --------------------------------------------------------------
@@ -134,14 +137,15 @@ class Trainer:
         self, x: np.ndarray, y: np.ndarray, batch_size: int = 256
     ) -> float:
         """Top-1 accuracy over a held-out set, batched to bound memory."""
-        self.model.eval()
-        correct = RunningMean()
-        for lo in range(0, len(x), batch_size):
-            xb, yb = x[lo : lo + batch_size], y[lo : lo + batch_size]
-            logits = self.model.forward(xb)
-            correct.update(top1_accuracy(logits, yb), weight=len(xb))
-        self.model.train()
-        return correct.mean
+        with _timed("trainer.evaluate", examples=len(x)):
+            self.model.eval()
+            correct = RunningMean()
+            for lo in range(0, len(x), batch_size):
+                xb, yb = x[lo : lo + batch_size], y[lo : lo + batch_size]
+                logits = self.model.forward(xb)
+                correct.update(top1_accuracy(logits, yb), weight=len(xb))
+            self.model.train()
+            return correct.mean
 
     # -- epoch ordering ----------------------------------------------------------
     def epoch_permutation(self, n: int, epoch: int) -> np.ndarray:
@@ -172,25 +176,29 @@ class Trainer:
         result = TrainResult()
         for epoch in range(epochs):
             batch_size = min(int(batch_schedule(epoch)), n)
-            order = self.epoch_permutation(n, epoch)
-            loss_avg, acc_avg = RunningMean(), RunningMean()
-            iters = 0
-            lr_last = 0.0
-            for lo in range(0, n, batch_size):
-                idx = order[lo : lo + batch_size]
-                lr_last = self.schedule(self.iteration)
-                loss_val, acc = self.train_step(x_train[idx], y_train[idx])
-                loss_avg.update(loss_val, weight=len(idx))
-                acc_avg.update(acc, weight=len(idx))
-                iters += 1
-            record = EpochRecord(
-                epoch=epoch + 1,
-                train_loss=loss_avg.mean,
-                train_accuracy=acc_avg.mean,
-                test_accuracy=self.evaluate(x_test, y_test),
-                learning_rate=lr_last,
-                iterations=iters,
-            )
+            with _timed("trainer.epoch", epoch=epoch + 1, batch_size=batch_size):
+                order = self.epoch_permutation(n, epoch)
+                loss_avg, acc_avg = RunningMean(), RunningMean()
+                iters = 0
+                lr_last = 0.0
+                for lo in range(0, n, batch_size):
+                    idx = order[lo : lo + batch_size]
+                    lr_last = self.schedule(self.iteration)
+                    loss_val, acc = self.train_step(x_train[idx], y_train[idx])
+                    loss_avg.update(loss_val, weight=len(idx))
+                    acc_avg.update(acc, weight=len(idx))
+                    iters += 1
+                record = EpochRecord(
+                    epoch=epoch + 1,
+                    train_loss=loss_avg.mean,
+                    train_accuracy=acc_avg.mean,
+                    test_accuracy=self.evaluate(x_test, y_test),
+                    learning_rate=lr_last,
+                    iterations=iters,
+                )
+            _publish("trainer.epoch", epoch=record.epoch,
+                     train_loss=record.train_loss,
+                     test_accuracy=record.test_accuracy)
             result.history.append(record)
             if callback is not None:
                 callback(record)
@@ -216,28 +224,32 @@ class Trainer:
         n = len(x_train)
         result = TrainResult()
         for epoch in range(epochs):
-            order = self.epoch_permutation(n, epoch)
-            loss_avg, acc_avg = RunningMean(), RunningMean()
-            iters = 0
-            lr_last = 0.0
-            for lo in range(0, n, batch_size):
-                idx = order[lo : lo + batch_size]
-                lr_last = self.schedule(self.iteration)
-                loss_val, acc = self.train_step(
-                    x_train[idx], y_train[idx],
-                    micro_batch_size=micro_batch_size,
+            with _timed("trainer.epoch", epoch=epoch + 1, batch_size=batch_size):
+                order = self.epoch_permutation(n, epoch)
+                loss_avg, acc_avg = RunningMean(), RunningMean()
+                iters = 0
+                lr_last = 0.0
+                for lo in range(0, n, batch_size):
+                    idx = order[lo : lo + batch_size]
+                    lr_last = self.schedule(self.iteration)
+                    loss_val, acc = self.train_step(
+                        x_train[idx], y_train[idx],
+                        micro_batch_size=micro_batch_size,
+                    )
+                    loss_avg.update(loss_val, weight=len(idx))
+                    acc_avg.update(acc, weight=len(idx))
+                    iters += 1
+                record = EpochRecord(
+                    epoch=epoch + 1,
+                    train_loss=loss_avg.mean,
+                    train_accuracy=acc_avg.mean,
+                    test_accuracy=self.evaluate(x_test, y_test),
+                    learning_rate=lr_last,
+                    iterations=iters,
                 )
-                loss_avg.update(loss_val, weight=len(idx))
-                acc_avg.update(acc, weight=len(idx))
-                iters += 1
-            record = EpochRecord(
-                epoch=epoch + 1,
-                train_loss=loss_avg.mean,
-                train_accuracy=acc_avg.mean,
-                test_accuracy=self.evaluate(x_test, y_test),
-                learning_rate=lr_last,
-                iterations=iters,
-            )
+            _publish("trainer.epoch", epoch=record.epoch,
+                     train_loss=record.train_loss,
+                     test_accuracy=record.test_accuracy)
             result.history.append(record)
             if callback is not None:
                 callback(record)

@@ -22,6 +22,7 @@ from typing import Callable, Iterator
 import numpy as np
 
 from ..cluster.sharding import epoch_permutation, shard_batch
+from ..obs import timed as _timed
 from .augment import AUGMENTATIONS
 
 __all__ = ["BatchLoader"]
@@ -139,12 +140,14 @@ class BatchLoader:
         order = self._epoch_order()
         aug_rng = np.random.default_rng((self.seed, self.epoch, self.rank))
         for lo in range(0, n, self.batch_size):
-            global_idx = order[lo : lo + self.batch_size]
-            local_idx = shard_batch(global_idx, self.world, self.rank)
-            if len(local_idx) == 0:
-                continue
-            xb = self._augment(self.x[local_idx], aug_rng)
-            yield xb, self.y[local_idx]
+            with _timed("data.batch_fetch", epoch=self.epoch, rank=self.rank):
+                global_idx = order[lo : lo + self.batch_size]
+                local_idx = shard_batch(global_idx, self.world, self.rank)
+                if len(local_idx) == 0:
+                    continue
+                xb = self._augment(self.x[local_idx], aug_rng)
+                batch = xb, self.y[local_idx]
+            yield batch
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Iterate the current epoch's batches.

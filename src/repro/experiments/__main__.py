@@ -9,6 +9,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..obs.console import configure_verbosity, get_console
 from . import EXPERIMENTS
 
 
@@ -21,16 +22,23 @@ def main(argv: list[str] | None = None) -> int:
                         help=f"experiments to run (default: all). Known: {', '.join(EXPERIMENTS)}")
     parser.add_argument("--scale", default="small", choices=["tiny", "small", "medium"],
                         help="proxy-experiment size preset")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only show warnings and errors")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="also show debug output")
     args = parser.parse_args(argv)
+    configure_verbosity(quiet=args.quiet, verbose=args.verbose)
+    console = get_console()
 
     names = args.names or list(EXPERIMENTS)
     unknown = [n for n in names if n not in EXPERIMENTS]
     if unknown:
         parser.error(f"unknown experiment(s): {unknown}")
     for name in names:
+        console.debug(f"running {name} (scale={args.scale})")
         result = EXPERIMENTS[name](scale=args.scale)
-        print(result.format())
-        print()
+        console.info(result.format())
+        console.info("")
     return 0
 
 

@@ -56,4 +56,6 @@ def run(scale: str = "small", seed: int = 0) -> ExperimentResult:
 
 
 if __name__ == "__main__":
-    print(run().format())
+    from ..obs.console import get_console
+
+    get_console().info(run().format())

@@ -22,6 +22,8 @@ from collections import defaultdict
 import numpy as np
 
 from ..comm.errors import RetransmitExhausted
+from ..obs.events import publish as _publish
+from ..obs.metrics import counter as _counter, get_registry as _get_registry
 from .plan import FaultPlan
 from .stats import FaultStats
 
@@ -74,6 +76,12 @@ class FaultInjector:
                             drop_rounds + corrupt_rounds
                         )
                     )
+                    _publish("fault.link_down", src=src, dst=dst,
+                             retries=drop_rounds + corrupt_rounds)
+                    if _get_registry().enabled:
+                        _counter("faults.retransmits").inc(
+                            drop_rounds + corrupt_rounds
+                        )
                     raise RetransmitExhausted(
                         src, dst, 0, drop_rounds + corrupt_rounds
                     )
@@ -86,10 +94,17 @@ class FaultInjector:
             delay = policy.total_delay(lost)
             self.stats.count_loss(drop_rounds, corrupt_rounds, delay)
             extra += delay
+            _publish("fault.message_loss", src=src, dst=dst,
+                     dropped=drop_rounds, corrupted=corrupt_rounds,
+                     retransmit_delay_s=delay)
+            if _get_registry().enabled:
+                _counter("faults.retransmits").inc(lost)
 
         if plan.delay_prob > 0.0 and rng.random() < plan.delay_prob:
             self.stats.count_delay(plan.delay_seconds)
             extra += plan.delay_seconds
+            _publish("fault.delay", src=src, dst=dst,
+                     delay_s=plan.delay_seconds)
         return extra
 
     # -- per-rank faults --------------------------------------------------------
@@ -99,6 +114,7 @@ class FaultInjector:
 
     def record_straggle(self, extra_seconds: float) -> None:
         self.stats.count_straggle(extra_seconds)
+        _publish("fault.straggle", extra_seconds=extra_seconds)
 
     def should_kill(self, rank: int, iteration: int) -> bool:
         """True exactly once per rank, at the first iteration >= the plan's
@@ -112,4 +128,7 @@ class FaultInjector:
                 return False
             self._fired_kills.add(rank)
         self.stats.count_kill()
+        _publish("fault.kill", rank=rank, iteration=iteration)
+        if _get_registry().enabled:
+            _counter("faults.kills").inc()
         return True

@@ -1,0 +1,89 @@
+"""Level-filtered console output for the CLI and experiment drivers.
+
+A deliberate sliver of a logging framework: four levels, one process-wide
+:class:`Console`, streams resolved at call time (so pytest's ``capsys`` and
+shell redirection both see exactly what a bare ``print`` would have
+written).  At the default ``info`` level the output is **byte-identical**
+to the ``print(...)`` calls it replaced — the experiment drivers' golden
+outputs in EXPERIMENTS.md stay regenerable — while ``--quiet`` silences
+progress chatter and ``--verbose`` surfaces debug detail without touching
+the stdlib ``logging`` module's global state.
+"""
+
+from __future__ import annotations
+
+import sys
+
+__all__ = ["Console", "LEVELS", "get_console", "set_console",
+           "configure_verbosity"]
+
+#: ordered severity levels; messages below the console's level are dropped
+LEVELS = {"debug": 10, "info": 20, "warning": 30, "error": 40}
+
+
+class Console:
+    """Minimal leveled writer.
+
+    ``info``/``debug`` go to stdout, ``warning``/``error`` to stderr.
+    ``info`` prints the message verbatim; the other levels prefix their
+    severity so redirected logs stay greppable.
+    """
+
+    def __init__(self, level: str = "info"):
+        self.set_level(level)
+
+    def set_level(self, level: str) -> None:
+        if level not in LEVELS:
+            raise ValueError(f"unknown level {level!r}; expected one of {sorted(LEVELS)}")
+        self.level = level
+        self._threshold = LEVELS[level]
+
+    def is_enabled_for(self, level: str) -> bool:
+        return LEVELS[level] >= self._threshold
+
+    def debug(self, message: str = "") -> None:
+        if self._threshold <= LEVELS["debug"]:
+            print(f"[debug] {message}", file=sys.stdout)
+
+    def info(self, message: str = "") -> None:
+        if self._threshold <= LEVELS["info"]:
+            print(message, file=sys.stdout)
+
+    def warning(self, message: str = "") -> None:
+        if self._threshold <= LEVELS["warning"]:
+            print(f"warning: {message}", file=sys.stderr)
+
+    def error(self, message: str = "") -> None:
+        if self._threshold <= LEVELS["error"]:
+            print(f"error: {message}", file=sys.stderr)
+
+
+_CONSOLE = Console()
+
+
+def get_console() -> Console:
+    """The process-wide console the CLI and experiment drivers write to."""
+    return _CONSOLE
+
+
+def set_console(console: Console) -> Console:
+    """Swap the process-wide console (returns the previous one)."""
+    global _CONSOLE
+    prev, _CONSOLE = _CONSOLE, console
+    return prev
+
+
+def configure_verbosity(quiet: bool = False, verbose: bool = False) -> Console:
+    """Map the CLI's ``--quiet``/``--verbose`` flags onto the console level.
+
+    ``--quiet`` wins when both are given (scripting callers pass it to get
+    machine-parseable output only).
+    """
+    console = get_console()
+    if quiet:
+        console.set_level("warning")
+    elif verbose:
+        console.set_level("debug")
+    else:
+        console.set_level("info")
+    return console

@@ -1,0 +1,453 @@
+"""Metrics registry: counters, gauges, log-bucketed histograms, timers.
+
+A metric *series* is (name, labels) — ``counter("comm.messages",
+kind="send")`` and ``kind="isend"`` are independent series under one name,
+mirroring the Prometheus data model the repo's CI consumers understand.
+Series are created on first touch and live in a :class:`MetricsRegistry`;
+:meth:`MetricsRegistry.snapshot` freezes everything into a flat
+JSON-serialisable payload (schema-versioned, validated by
+:func:`validate_metrics_snapshot`) and :meth:`MetricsRegistry.to_csv` emits
+the same data as a spreadsheet-friendly table.
+
+Histograms use **fixed log-spaced buckets** (default: 1 µs → 100 s, four
+buckets per decade) so latency distributions from very different scales —
+a 20 µs span close vs an 8 ms allreduce — land in comparable, mergeable
+bins; bucket edges are part of the snapshot so two snapshots can be diffed
+bin-for-bin.
+
+Like tracing, the registry is **off by default**: the module-level helpers
+(:func:`counter`, :func:`gauge`, :func:`histogram`, :func:`observe`) return
+shared no-op instruments on a single attribute check when disabled, so
+instrumented hot paths cost one branch.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import math
+import threading
+import time
+from bisect import bisect_right
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "TimerMetric",
+    "MetricsRegistry",
+    "MetricsSchemaError",
+    "log_spaced_buckets",
+    "DEFAULT_BUCKETS",
+    "get_registry",
+    "set_registry",
+    "counter",
+    "gauge",
+    "histogram",
+    "timer",
+    "observe",
+    "validate_metrics_snapshot",
+]
+
+METRICS_SCHEMA_VERSION = 1
+
+
+class MetricsSchemaError(ValueError):
+    """A snapshot payload does not conform to the metrics schema."""
+
+
+def log_spaced_buckets(
+    lo: float = 1e-6, hi: float = 100.0, per_decade: int = 4
+) -> tuple[float, ...]:
+    """Logarithmically spaced bucket edges from ``lo`` to ``hi`` inclusive.
+
+    Edges are rounded to three significant digits so they serialise cleanly
+    and two independently constructed registries agree bit-for-bit.
+    """
+    if lo <= 0 or hi <= lo:
+        raise ValueError("need 0 < lo < hi")
+    if per_decade < 1:
+        raise ValueError("per_decade must be >= 1")
+    decades = math.log10(hi / lo)
+    n = int(round(decades * per_decade))
+    edges = [lo * 10 ** (k / per_decade) for k in range(n + 1)]
+    rounded = tuple(float(f"{e:.3g}") for e in edges)
+    return rounded
+
+
+#: default latency edges: 1 µs → 100 s, 4 buckets per decade (33 edges)
+DEFAULT_BUCKETS = log_spaced_buckets()
+
+
+class Counter:
+    """Monotonically increasing count (messages, retransmits, faults)."""
+
+    __slots__ = ("name", "labels", "_value", "_lock")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> dict:
+        return {"name": self.name, "type": "counter", "labels": self.labels,
+                "value": self._value}
+
+
+class Gauge:
+    """Last-written value with running min/max (queue depths, wait times)."""
+
+    __slots__ = ("name", "labels", "_value", "_min", "_max", "_count", "_lock")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: dict):
+        self.name = name
+        self.labels = labels
+        self._value = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._count = 0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self._value = value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+            self._count += 1
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+            self._min = min(self._min, self._value)
+            self._max = max(self._max, self._value)
+            self._count += 1
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name, "type": "gauge", "labels": self.labels,
+            "value": self._value, "count": self._count,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+        }
+
+
+class Histogram:
+    """Fixed-bucket distribution with count/sum/min/max.
+
+    ``counts`` has ``len(edges) + 1`` slots: slot 0 counts observations
+    below ``edges[0]`` (underflow), slot ``i`` counts ``edges[i-1] <= v <
+    edges[i]``, and the last slot counts ``v >= edges[-1]`` (overflow).
+    """
+
+    __slots__ = ("name", "labels", "edges", "counts", "_count", "_sum",
+                 "_min", "_max", "_lock")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: dict, edges: tuple[float, ...] | None = None):
+        edges = tuple(edges) if edges is not None else DEFAULT_BUCKETS
+        if len(edges) < 1 or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("edges must be strictly increasing and non-empty")
+        self.name = name
+        self.labels = labels
+        self.edges = edges
+        self.counts = [0] * (len(edges) + 1)
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        idx = bisect_right(self.edges, value)
+        with self._lock:
+            self.counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            self._min = min(self._min, value)
+            self._max = max(self._max, value)
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._count if self._count else float("nan")
+
+    def quantile(self, q: float) -> float:
+        """Bucket-upper-bound estimate of the ``q``-quantile (0 < q <= 1)."""
+        if not 0 < q <= 1:
+            raise ValueError("q must be in (0, 1]")
+        if self._count == 0:
+            return float("nan")
+        target = math.ceil(q * self._count)
+        seen = 0
+        for i, c in enumerate(self.counts):
+            seen += c
+            if seen >= target:
+                return self.edges[min(i, len(self.edges) - 1)]
+        return self.edges[-1]
+
+    def as_dict(self) -> dict:
+        return {
+            "name": self.name, "type": "histogram", "labels": self.labels,
+            "edges": list(self.edges), "counts": list(self.counts),
+            "count": self._count, "sum": self._sum,
+            "min": self._min if self._count else 0.0,
+            "max": self._max if self._count else 0.0,
+        }
+
+
+class TimerMetric:
+    """Reusable context manager observing elapsed seconds into a histogram.
+
+    Uses ``time.perf_counter_ns`` so sub-50 µs regions are not quantised
+    away.  Reentrant across threads is *not* supported (one start slot); use
+    one TimerMetric per call site or thread.
+    """
+
+    __slots__ = ("histogram", "_start_ns")
+    kind = "timer"
+
+    def __init__(self, histogram_: Histogram):
+        self.histogram = histogram_
+        self._start_ns = 0
+
+    def __enter__(self) -> "TimerMetric":
+        self._start_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.histogram.observe((time.perf_counter_ns() - self._start_ns) * 1e-9)
+        return False
+
+
+class _NullInstrument:
+    """Shared no-op counter/gauge/histogram/timer for disabled registries."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def __enter__(self) -> "_NullInstrument":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+NULL_INSTRUMENT = _NullInstrument()
+
+
+def _series_key(name: str, labels: dict) -> tuple:
+    return (name, tuple(sorted(labels.items())))
+
+
+class MetricsRegistry:
+    """Thread-safe home of every metric series.
+
+    ``enabled`` gates the module-level helpers only — a registry handle
+    obtained directly always records, which is what tests and the bench
+    harness use to keep global state untouched.
+    """
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = bool(enabled)
+        self._series: dict[tuple, object] = {}
+        self._lock = threading.Lock()
+
+    def _get_or_create(self, cls, name: str, labels: dict, *args):
+        key = _series_key(name, labels)
+        series = self._series.get(key)
+        if series is None:
+            with self._lock:
+                series = self._series.get(key)
+                if series is None:
+                    series = cls(name, labels, *args)
+                    self._series[key] = series
+        if not isinstance(series, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as {type(series).__name__}"
+            )
+        return series
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self, name: str, edges: tuple[float, ...] | None = None, **labels
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, labels, edges)
+
+    def timer(self, name: str, **labels) -> TimerMetric:
+        """Fresh timer context manager over the named histogram series."""
+        return TimerMetric(self.histogram(name, **labels))
+
+    # -- export -----------------------------------------------------------------
+    def series(self) -> list:
+        with self._lock:
+            return list(self._series.values())
+
+    def snapshot(self) -> dict:
+        """Schema-versioned JSON-serialisable dump of every series."""
+        return {
+            "schema_version": METRICS_SCHEMA_VERSION,
+            "metrics": sorted(
+                (s.as_dict() for s in self.series()),
+                key=lambda d: (d["name"], sorted(d["labels"].items())),
+            ),
+        }
+
+    def to_json(self, path: str | None = None) -> str:
+        payload = self.snapshot()
+        validate_metrics_snapshot(payload)
+        text = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+        if path is not None:
+            with open(path, "w") as fh:
+                fh.write(text)
+        return text
+
+    def to_csv(self, path: str | None = None) -> str:
+        """Flat ``name,type,labels,field,value`` table of every series."""
+        buf = io.StringIO()
+        buf.write("name,type,labels,field,value\r\n")
+        for d in self.snapshot()["metrics"]:
+            labels = ";".join(f"{k}={v}" for k, v in sorted(d["labels"].items()))
+            scalar_fields = {
+                k: v for k, v in d.items()
+                if k not in ("name", "type", "labels") and not isinstance(v, list)
+            }
+            for fname, value in sorted(scalar_fields.items()):
+                buf.write(f"{d['name']},{d['type']},{labels},{fname},{value}\r\n")
+        text = buf.getvalue()
+        if path is not None:
+            with open(path, "w", newline="") as fh:
+                fh.write(text)
+        return text
+
+    def reset(self) -> None:
+        with self._lock:
+            self._series.clear()
+
+
+def validate_metrics_snapshot(payload: dict) -> None:
+    """Raise :class:`MetricsSchemaError` unless ``payload`` conforms."""
+    if not isinstance(payload, dict):
+        raise MetricsSchemaError("payload must be an object")
+    if payload.get("schema_version") != METRICS_SCHEMA_VERSION:
+        raise MetricsSchemaError(
+            f"schema_version {payload.get('schema_version')!r} unsupported "
+            f"(expected {METRICS_SCHEMA_VERSION})"
+        )
+    metrics = payload.get("metrics")
+    if not isinstance(metrics, list):
+        raise MetricsSchemaError("'metrics' must be an array")
+    for i, d in enumerate(metrics):
+        if not isinstance(d, dict):
+            raise MetricsSchemaError(f"metric {i} must be an object")
+        if not isinstance(d.get("name"), str) or not d["name"]:
+            raise MetricsSchemaError(f"metric {i}: missing name")
+        if d.get("type") not in ("counter", "gauge", "histogram"):
+            raise MetricsSchemaError(f"metric {i}: unknown type {d.get('type')!r}")
+        if not isinstance(d.get("labels"), dict):
+            raise MetricsSchemaError(f"metric {i}: labels must be an object")
+        if d["type"] == "histogram":
+            edges, counts = d.get("edges"), d.get("counts")
+            if not isinstance(edges, list) or not isinstance(counts, list):
+                raise MetricsSchemaError(f"metric {i}: histogram needs edges+counts")
+            if len(counts) != len(edges) + 1:
+                raise MetricsSchemaError(
+                    f"metric {i}: counts must have len(edges)+1 slots"
+                )
+            if sum(counts) != d.get("count"):
+                raise MetricsSchemaError(f"metric {i}: count != sum(counts)")
+        elif not isinstance(d.get("value"), (int, float)):
+            raise MetricsSchemaError(f"metric {i}: value must be a number")
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY = MetricsRegistry(enabled=False)
+
+
+def get_registry() -> MetricsRegistry:
+    """The process-wide registry the instrumented hot paths record into."""
+    return _REGISTRY
+
+
+def set_registry(registry: MetricsRegistry) -> MetricsRegistry:
+    """Swap the process-wide registry (returns the previous one)."""
+    global _REGISTRY
+    prev, _REGISTRY = _REGISTRY, registry
+    return prev
+
+
+def counter(name: str, **labels):
+    """Default-registry counter series; shared no-op when disabled."""
+    reg = _REGISTRY
+    if not reg.enabled:
+        return NULL_INSTRUMENT
+    return reg.counter(name, **labels)
+
+
+def gauge(name: str, **labels):
+    reg = _REGISTRY
+    if not reg.enabled:
+        return NULL_INSTRUMENT
+    return reg.gauge(name, **labels)
+
+
+def histogram(name: str, **labels):
+    reg = _REGISTRY
+    if not reg.enabled:
+        return NULL_INSTRUMENT
+    return reg.histogram(name, **labels)
+
+
+def timer(name: str, **labels):
+    reg = _REGISTRY
+    if not reg.enabled:
+        return NULL_INSTRUMENT
+    return reg.timer(name, **labels)
+
+
+def observe(name: str, value: float, **labels) -> None:
+    """Observe ``value`` into the named default-registry histogram."""
+    reg = _REGISTRY
+    if reg.enabled:
+        reg.histogram(name, **labels).observe(value)

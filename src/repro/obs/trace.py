@@ -1,0 +1,413 @@
+"""Structured span tracing with a Chrome trace-event exporter.
+
+A :class:`Span` is one timed region — a train step, an allreduce, a batch
+fetch — with a name, wall-clock bounds (``time.perf_counter_ns``), the
+thread that ran it, free-form attributes, and its position in the per-thread
+nesting stack.  A :class:`Tracer` collects finished spans and instant events
+thread-safely; :func:`to_chrome_trace` serialises them to the Chrome
+trace-event JSON format, loadable in ``chrome://tracing`` or
+`Perfetto <https://ui.perfetto.dev>`_ (one track per simulated rank thread,
+nesting rendered from time containment).
+
+Overhead discipline: tracing is **off by default** and every module-level
+helper (:func:`span`, :func:`instant`) bails out on a single attribute check
+when disabled, returning a shared no-op context manager — no allocation, no
+locking, no clock read.  The hot paths instrumented across the repo
+(``Trainer.train_step``, the sync-SGD worker loop, the fabric) therefore pay
+only that check; the ``obs.span.disabled`` microbenchmark and the CI
+regression gate keep it that way.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+
+__all__ = [
+    "Span",
+    "Tracer",
+    "TraceSchemaError",
+    "get_tracer",
+    "set_tracer",
+    "span",
+    "instant",
+    "current_span",
+    "to_chrome_trace",
+    "validate_chrome_trace",
+]
+
+
+class TraceSchemaError(ValueError):
+    """A payload does not conform to the Chrome trace-event schema."""
+
+
+@dataclass
+class Span:
+    """One finished (or in-flight) timed region."""
+
+    name: str
+    start_ns: int
+    end_ns: int | None = None
+    tid: int = 0
+    attrs: dict = field(default_factory=dict)
+    #: name of the enclosing span on the same thread (None at top level)
+    parent: str | None = None
+    #: nesting depth on the owning thread (0 = top level)
+    depth: int = 0
+
+    @property
+    def duration_ns(self) -> int:
+        """Span length in nanoseconds (0 while still open)."""
+        return 0 if self.end_ns is None else self.end_ns - self.start_ns
+
+    @property
+    def duration_s(self) -> float:
+        return self.duration_ns * 1e-9
+
+
+@dataclass
+class InstantEvent:
+    """A zero-duration mark (fault injections, checkpoints, verdicts)."""
+
+    name: str
+    time_ns: int
+    tid: int = 0
+    attrs: dict = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled.
+
+    Reentrant and reusable by construction (it has no state), so one module
+    instance serves every disabled call site concurrently.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> None:
+        """No-op attribute update (mirrors :class:`_LiveSpan.set`)."""
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _LiveSpan:
+    """Context manager recording one :class:`Span` into its tracer.
+
+    Exception-safe: the span is always closed and recorded, and an escaping
+    exception is noted in the span's attributes (``error`` = exception type)
+    before being re-raised.
+    """
+
+    __slots__ = ("_tracer", "_span")
+
+    def __init__(self, tracer: "Tracer", span_: Span):
+        self._tracer = tracer
+        self._span = span_
+
+    def set(self, **attrs) -> None:
+        """Attach or update attributes on the running span."""
+        self._span.attrs.update(attrs)
+
+    def __enter__(self) -> "_LiveSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None:
+            self._span.attrs["error"] = exc_type.__name__
+        self._tracer._finish(self._span)
+        return False
+
+
+class Tracer:
+    """Thread-safe collector of spans and instant events.
+
+    Parameters
+    ----------
+    enabled:
+        Initial state; flip :attr:`enabled` at any time (the switch is a
+        plain attribute read on the hot path).
+    max_events:
+        Optional cap on retained spans+instants; the oldest half is dropped
+        when the cap is hit, so a runaway loop cannot exhaust memory.
+    """
+
+    def __init__(self, enabled: bool = False, max_events: int | None = None):
+        self.enabled = bool(enabled)
+        self.max_events = max_events
+        self._lock = threading.Lock()
+        self._spans: list[Span] = []
+        self._instants: list[InstantEvent] = []
+        self._local = threading.local()
+        #: thread ident -> thread name, captured as spans are opened so the
+        #: exporter can label each rank's track (threads may be gone by then)
+        self._thread_names: dict[int, str] = {}
+        #: perf_counter origin so exported timestamps start near zero
+        self.origin_ns = time.perf_counter_ns()
+
+    # -- recording --------------------------------------------------------------
+    def _stack(self) -> list[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def span(self, name: str, **attrs) -> "_LiveSpan | _NullSpan":
+        """Open a nested span; use as ``with tracer.span("x", k=v): ...``."""
+        if not self.enabled:
+            return NULL_SPAN
+        stack = self._stack()
+        parent = stack[-1] if stack else None
+        ident = threading.get_ident()
+        if ident not in self._thread_names:
+            self._thread_names[ident] = threading.current_thread().name
+        s = Span(
+            name=name,
+            start_ns=time.perf_counter_ns(),
+            tid=ident,
+            attrs=attrs,
+            parent=parent.name if parent is not None else None,
+            depth=len(stack),
+        )
+        stack.append(s)
+        return _LiveSpan(self, s)
+
+    def _finish(self, s: Span) -> None:
+        s.end_ns = time.perf_counter_ns()
+        stack = self._stack()
+        # Pop back to this span even if an inner span leaked (exception
+        # unwinding closes outer spans first via __exit__ ordering, but a
+        # hand-held context manager could be closed out of order).
+        while stack and stack[-1] is not s:
+            stack.pop()
+        if stack:
+            stack.pop()
+        with self._lock:
+            self._spans.append(s)
+            self._trim()
+
+    def instant(self, name: str, **attrs) -> None:
+        """Record a zero-duration mark (no-op while disabled)."""
+        if not self.enabled:
+            return
+        ev = InstantEvent(
+            name=name,
+            time_ns=time.perf_counter_ns(),
+            tid=threading.get_ident(),
+            attrs=attrs,
+        )
+        with self._lock:
+            self._instants.append(ev)
+            self._trim()
+
+    def _trim(self) -> None:
+        if self.max_events is None:
+            return
+        if len(self._spans) + len(self._instants) > self.max_events:
+            self._spans = self._spans[len(self._spans) // 2 :]
+            self._instants = self._instants[len(self._instants) // 2 :]
+
+    # -- inspection -------------------------------------------------------------
+    def current_span(self) -> Span | None:
+        """The innermost open span on the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    @property
+    def spans(self) -> list[Span]:
+        """Snapshot of finished spans (recording order)."""
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def instants(self) -> list[InstantEvent]:
+        with self._lock:
+            return list(self._instants)
+
+    def spans_named(self, name: str) -> list[Span]:
+        return [s for s in self.spans if s.name == name]
+
+    def children_of(self, name: str) -> list[Span]:
+        """Finished spans whose direct parent span was called ``name``."""
+        return [s for s in self.spans if s.parent == name]
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._instants.clear()
+        self.origin_ns = time.perf_counter_ns()
+
+    # -- export -----------------------------------------------------------------
+    def to_chrome(self, thread_names: dict[int, str] | None = None) -> dict:
+        """Chrome trace-event payload for everything recorded so far."""
+        with self._lock:
+            spans = list(self._spans)
+            instants = list(self._instants)
+        if thread_names is None:
+            thread_names = dict(self._thread_names)
+        return to_chrome_trace(
+            spans, instants, origin_ns=self.origin_ns, thread_names=thread_names
+        )
+
+    def export_chrome(self, path: str, thread_names: dict[int, str] | None = None) -> None:
+        """Write the Chrome trace-event JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome(thread_names), fh, indent=1)
+            fh.write("\n")
+
+
+# ---------------------------------------------------------------------------
+# Chrome trace-event serialisation
+# ---------------------------------------------------------------------------
+
+def _json_safe(value):
+    """Coerce attribute values to JSON-serialisable types."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _json_safe(v) for k, v in value.items()}
+    try:  # numpy scalars expose item() without an explicit numpy import here
+        return value.item()
+    except AttributeError:
+        return repr(value)
+
+
+def to_chrome_trace(
+    spans: list[Span],
+    instants: list[InstantEvent] | None = None,
+    origin_ns: int = 0,
+    thread_names: dict[int, str] | None = None,
+) -> dict:
+    """Serialise spans/instants to the Chrome trace-event *object* format.
+
+    Spans become complete (``"ph": "X"``) events with microsecond ``ts`` /
+    ``dur``; instants become thread-scoped ``"ph": "i"`` marks; thread names
+    become ``thread_name`` metadata records so Perfetto labels each rank's
+    track.  Timestamps are relative to ``origin_ns`` so traces start at ~0.
+    """
+    events: list[dict] = []
+    tids = sorted(
+        {s.tid for s in spans} | {e.tid for e in (instants or [])}
+    )
+    # Chrome wants small integer tids; map thread idents stably.
+    tid_map = {ident: i for i, ident in enumerate(tids)}
+    for ident, small in tid_map.items():
+        name = (thread_names or {}).get(ident)
+        if name:
+            events.append({
+                "ph": "M",
+                "pid": 0,
+                "tid": small,
+                "name": "thread_name",
+                "args": {"name": name},
+            })
+    for s in spans:
+        events.append({
+            "ph": "X",
+            "pid": 0,
+            "tid": tid_map.get(s.tid, 0),
+            "name": s.name,
+            "cat": s.name.split(".", 1)[0],
+            "ts": (s.start_ns - origin_ns) / 1e3,
+            "dur": (s.duration_ns) / 1e3,
+            "args": _json_safe(s.attrs),
+        })
+    for ev in instants or []:
+        events.append({
+            "ph": "i",
+            "s": "t",
+            "pid": 0,
+            "tid": tid_map.get(ev.tid, 0),
+            "name": ev.name,
+            "cat": "event",
+            "ts": (ev.time_ns - origin_ns) / 1e3,
+            "args": _json_safe(ev.attrs),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+_PHASES_WITH_DUR = {"X"}
+_KNOWN_PHASES = {"X", "i", "M", "B", "E", "C"}
+
+
+def validate_chrome_trace(payload: dict) -> None:
+    """Raise :class:`TraceSchemaError` unless ``payload`` is a valid Chrome
+    trace-event object (the subset this exporter emits plus the common
+    begin/end/counter phases)."""
+    if not isinstance(payload, dict) or "traceEvents" not in payload:
+        raise TraceSchemaError("payload must be an object with 'traceEvents'")
+    events = payload["traceEvents"]
+    if not isinstance(events, list):
+        raise TraceSchemaError("'traceEvents' must be an array")
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            raise TraceSchemaError(f"event {i} must be an object")
+        ph = ev.get("ph")
+        if ph not in _KNOWN_PHASES:
+            raise TraceSchemaError(f"event {i}: unknown phase {ph!r}")
+        if not isinstance(ev.get("name"), str) or not ev["name"]:
+            raise TraceSchemaError(f"event {i}: missing name")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                raise TraceSchemaError(f"event {i}: {key} must be an integer")
+        if ph != "M":
+            ts = ev.get("ts")
+            if not isinstance(ts, (int, float)) or ts < 0:
+                raise TraceSchemaError(f"event {i}: ts must be non-negative")
+        if ph in _PHASES_WITH_DUR:
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                raise TraceSchemaError(f"event {i}: dur must be non-negative")
+        if ph == "i" and ev.get("s") not in ("t", "p", "g"):
+            raise TraceSchemaError(f"event {i}: instant scope must be t/p/g")
+        if "args" in ev and not isinstance(ev["args"], dict):
+            raise TraceSchemaError(f"event {i}: args must be an object")
+
+
+# ---------------------------------------------------------------------------
+# Process-wide default tracer
+# ---------------------------------------------------------------------------
+
+_TRACER = Tracer(enabled=False)
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer every instrumented hot path records into."""
+    return _TRACER
+
+
+def set_tracer(tracer: Tracer) -> Tracer:
+    """Swap the process-wide tracer (returns the previous one)."""
+    global _TRACER
+    prev, _TRACER = _TRACER, tracer
+    return prev
+
+
+def span(name: str, **attrs):
+    """Open a span on the default tracer; no-op while tracing is disabled."""
+    t = _TRACER
+    if not t.enabled:
+        return NULL_SPAN
+    return t.span(name, **attrs)
+
+
+def instant(name: str, **attrs) -> None:
+    """Record an instant mark on the default tracer (no-op when disabled)."""
+    t = _TRACER
+    if t.enabled:
+        t.instant(name, **attrs)
+
+
+def current_span() -> Span | None:
+    """Innermost open span of the calling thread on the default tracer."""
+    return _TRACER.current_span()

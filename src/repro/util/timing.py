@@ -61,6 +61,12 @@ def measure(
 class Timer:
     """Accumulating stopwatch.
 
+    Accumulates in integer nanoseconds (``time.perf_counter_ns``), so long
+    profiling sessions never lose short intervals to float absorption —
+    summing many ~µs regions into a large float total silently rounds them
+    away, integers never do.  ``total`` stays a float-seconds view for
+    existing callers.
+
     >>> t = Timer()
     >>> with t:
     ...     work()
@@ -68,19 +74,24 @@ class Timer:
     """
 
     def __init__(self) -> None:
-        self.total = 0.0
+        self.total_ns = 0
         self.count = 0
-        self._start: float | None = None
+        self._start: int | None = None
 
     def __enter__(self) -> "Timer":
-        self._start = time.perf_counter()
+        self._start = time.perf_counter_ns()
         return self
 
     def __exit__(self, *exc) -> None:
         assert self._start is not None
-        self.total += time.perf_counter() - self._start
+        self.total_ns += time.perf_counter_ns() - self._start
         self.count += 1
         self._start = None
+
+    @property
+    def total(self) -> float:
+        """Accumulated seconds (float view of :attr:`total_ns`)."""
+        return self.total_ns * 1e-9
 
     @property
     def mean(self) -> float:
@@ -89,7 +100,7 @@ class Timer:
 
     def reset(self) -> None:
         """Zero the accumulated time and count."""
-        self.total = 0.0
+        self.total_ns = 0
         self.count = 0
 
 
@@ -98,12 +109,19 @@ class LayerProfiler:
 
     Wraps each layer's ``forward``/``backward`` in place; call
     :meth:`report` after running some steps and :meth:`unwrap` to restore.
+
+    When ``tracer`` is given (a :class:`repro.obs.Tracer`), every wrapped
+    call additionally emits a ``layer.forward``/``layer.backward`` span, so
+    the per-layer table and the Chrome-trace timeline come from one wrapping
+    of the model.  Span emission costs one attribute check per call while
+    the tracer is disabled.
     """
 
-    def __init__(self, model: Sequential):
+    def __init__(self, model: Sequential, tracer=None):
         if not isinstance(model, Sequential):
             raise TypeError("LayerProfiler expects a Sequential model")
         self.model = model
+        self.tracer = tracer
         self.forward_time: dict[str, Timer] = defaultdict(Timer)
         self.backward_time: dict[str, Timer] = defaultdict(Timer)
         self._originals: list[tuple[Module, object, object]] = []
@@ -119,10 +137,18 @@ class LayerProfiler:
             self._originals.append((layer, fwd, bwd))
 
             def timed_fwd(x, _f=fwd, _l=label):
+                tr = self.tracer
+                if tr is not None and tr.enabled:
+                    with tr.span("layer.forward", layer=_l), self.forward_time[_l]:
+                        return _f(x)
                 with self.forward_time[_l]:
                     return _f(x)
 
             def timed_bwd(g, _b=bwd, _l=label):
+                tr = self.tracer
+                if tr is not None and tr.enabled:
+                    with tr.span("layer.backward", layer=_l), self.backward_time[_l]:
+                        return _b(g)
                 with self.backward_time[_l]:
                     return _b(g)
 

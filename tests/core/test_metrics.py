@@ -47,15 +47,19 @@ def test_running_mean_weighted():
     assert rm.mean == pytest.approx(2.0)
 
 
-def test_running_mean_empty_is_zero():
-    assert RunningMean().mean == 0.0
+def test_running_mean_empty_is_nan():
+    # The mean of zero observations is undefined, not 0.0 — a silent zero
+    # would be indistinguishable from a genuine 0% accuracy.
+    assert np.isnan(RunningMean().mean)
 
 
 def test_running_mean_reset():
     rm = RunningMean()
     rm.update(10.0)
     rm.reset()
-    assert rm.mean == 0.0
+    assert np.isnan(rm.mean)
+    rm.update(4.0)
+    assert rm.mean == pytest.approx(4.0)
 
 
 def test_epoch_record_as_dict():

@@ -1,0 +1,15 @@
+"""Shared fixtures: every test leaves the global obs singletons disabled
+and empty, so instrumented hot paths elsewhere in the suite stay no-ops."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_obs_state():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()

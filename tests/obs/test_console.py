@@ -1,0 +1,66 @@
+"""Console: level filtering, quiet/verbose mapping, byte-identical info."""
+
+import pytest
+
+from repro.obs.console import LEVELS, Console, configure_verbosity, get_console
+
+
+@pytest.fixture(autouse=True)
+def restore_level():
+    console = get_console()
+    prev = console.level
+    yield
+    console.set_level(prev)
+
+
+def test_info_is_byte_identical_to_print(capsys):
+    message = "  epoch   1  loss  0.1234  test 0.9000"
+    print(message)
+    expected = capsys.readouterr().out
+    Console().info(message)
+    assert capsys.readouterr().out == expected
+
+
+def test_levels_and_streams(capsys):
+    c = Console(level="debug")
+    c.debug("d")
+    c.info("i")
+    c.warning("w")
+    c.error("e")
+    captured = capsys.readouterr()
+    assert captured.out == "[debug] d\ni\n"
+    assert captured.err == "warning: w\nerror: e\n"
+
+
+def test_default_level_drops_debug(capsys):
+    c = Console()
+    c.debug("hidden")
+    assert capsys.readouterr().out == ""
+    assert c.is_enabled_for("info") and not c.is_enabled_for("debug")
+
+
+def test_warning_level_drops_info(capsys):
+    c = Console(level="warning")
+    c.info("hidden")
+    c.warning("shown")
+    captured = capsys.readouterr()
+    assert captured.out == "" and captured.err == "warning: shown\n"
+
+
+def test_unknown_level_rejected():
+    with pytest.raises(ValueError):
+        Console(level="chatty")
+    with pytest.raises(ValueError):
+        Console().set_level("TRACE")
+
+
+def test_configure_verbosity_mapping():
+    assert configure_verbosity().level == "info"
+    assert configure_verbosity(verbose=True).level == "debug"
+    assert configure_verbosity(quiet=True).level == "warning"
+    # quiet wins over verbose (scripted callers want silence)
+    assert configure_verbosity(quiet=True, verbose=True).level == "warning"
+
+
+def test_level_ordering():
+    assert LEVELS["debug"] < LEVELS["info"] < LEVELS["warning"] < LEVELS["error"]

@@ -1,0 +1,202 @@
+"""Metrics registry: bucket edges, labeled series, snapshot round-trips."""
+
+import json
+import math
+
+import pytest
+
+from repro.obs import metrics as metrics_mod
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    NULL_INSTRUMENT,
+    Histogram,
+    MetricsRegistry,
+    MetricsSchemaError,
+    log_spaced_buckets,
+    validate_metrics_snapshot,
+)
+
+
+def test_log_spaced_buckets_default_span():
+    edges = log_spaced_buckets()
+    assert edges[0] == pytest.approx(1e-6)
+    assert edges[-1] == pytest.approx(100.0)
+    assert len(edges) == 33  # 8 decades x 4 per decade + 1
+    assert all(b > a for a, b in zip(edges, edges[1:]))
+    assert edges == DEFAULT_BUCKETS
+
+
+def test_log_spaced_buckets_validation():
+    with pytest.raises(ValueError):
+        log_spaced_buckets(lo=0.0)
+    with pytest.raises(ValueError):
+        log_spaced_buckets(lo=1.0, hi=0.5)
+    with pytest.raises(ValueError):
+        log_spaced_buckets(per_decade=0)
+
+
+def test_histogram_bucket_edges_exact():
+    """Slot semantics: underflow | [e0,e1) ... | overflow, edges inclusive
+    on the left — an observation exactly on an edge lands in the bucket the
+    edge opens."""
+    h = Histogram("lat", {}, edges=(1.0, 10.0, 100.0))
+    h.observe(0.5)    # underflow -> slot 0
+    h.observe(1.0)    # == edges[0] -> slot 1
+    h.observe(9.99)   # slot 1
+    h.observe(10.0)   # == edges[1] -> slot 2
+    h.observe(100.0)  # == edges[-1] -> overflow slot
+    h.observe(1e9)    # overflow
+    assert h.counts == [1, 2, 1, 2]
+    assert h.count == 6
+    assert h.sum == pytest.approx(0.5 + 1.0 + 9.99 + 10.0 + 100.0 + 1e9)
+
+
+def test_histogram_stats_and_quantile():
+    h = Histogram("lat", {}, edges=(1.0, 2.0, 4.0))
+    for v in (0.5, 1.5, 1.6, 3.0):
+        h.observe(v)
+    assert h.mean == pytest.approx((0.5 + 1.5 + 1.6 + 3.0) / 4)
+    assert h.quantile(0.5) == 2.0  # upper bound of the median's bucket
+    assert h.quantile(1.0) == 4.0
+    empty = Histogram("e", {})
+    assert math.isnan(empty.mean) and math.isnan(empty.quantile(0.5))
+    with pytest.raises(ValueError):
+        h.quantile(0.0)
+
+
+def test_histogram_rejects_bad_edges():
+    with pytest.raises(ValueError):
+        Histogram("h", {}, edges=())
+    with pytest.raises(ValueError):
+        Histogram("h", {}, edges=(1.0, 1.0))
+
+
+def test_counter_monotonic():
+    reg = MetricsRegistry(enabled=True)
+    c = reg.counter("msgs", kind="send")
+    c.inc()
+    c.inc(4)
+    assert c.value == 5
+    with pytest.raises(ValueError):
+        c.inc(-1)
+
+
+def test_gauge_tracks_min_max():
+    reg = MetricsRegistry(enabled=True)
+    g = reg.gauge("wait_s", rank=0)
+    g.set(2.0)
+    g.set(0.5)
+    g.inc(3.0)
+    d = g.as_dict()
+    assert d["value"] == pytest.approx(3.5)
+    assert d["min"] == pytest.approx(0.5)
+    assert d["max"] == pytest.approx(3.5)
+    assert d["count"] == 3
+
+
+def test_labeled_series_are_independent():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("msgs", kind="send").inc()
+    reg.counter("msgs", kind="isend").inc(2)
+    assert reg.counter("msgs", kind="send").value == 1
+    assert reg.counter("msgs", kind="isend").value == 2
+    assert len(reg.series()) == 2
+
+
+def test_kind_mismatch_raises():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("x")
+    with pytest.raises(TypeError):
+        reg.gauge("x")
+
+
+def test_timer_observes_into_histogram():
+    reg = MetricsRegistry(enabled=True)
+    with reg.timer("step_s"):
+        pass
+    h = reg.histogram("step_s")
+    assert h.count == 1
+    assert 0 <= h.sum < 1.0
+
+
+def test_snapshot_json_round_trip(tmp_path):
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("msgs", kind="send").inc(3)
+    reg.gauge("wait_s", rank=1).set(0.25)
+    reg.histogram("lat_s").observe(1e-4)
+    path = tmp_path / "metrics.json"
+    reg.to_json(str(path))
+    payload = json.loads(path.read_text())
+    validate_metrics_snapshot(payload)
+    assert payload["schema_version"] == 1
+    names = [m["name"] for m in payload["metrics"]]
+    assert names == sorted(names)
+    (hist,) = [m for m in payload["metrics"] if m["type"] == "histogram"]
+    assert len(hist["counts"]) == len(hist["edges"]) + 1
+    assert sum(hist["counts"]) == hist["count"] == 1
+
+
+def test_snapshot_csv_round_trip(tmp_path):
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("msgs", kind="send").inc(3)
+    reg.histogram("lat_s", algorithm="ring").observe(0.5)
+    path = tmp_path / "metrics.csv"
+    reg.to_csv(str(path))
+    lines = path.read_text().splitlines()
+    assert lines[0] == "name,type,labels,field,value"
+    rows = [line.split(",") for line in lines[1:]]
+    assert ["msgs", "counter", "kind=send", "value", "3.0"] in rows
+    assert any(r[:3] == ["lat_s", "histogram", "algorithm=ring"] and r[3] == "count"
+               for r in rows)
+
+
+def test_validate_rejects_malformed():
+    with pytest.raises(MetricsSchemaError):
+        validate_metrics_snapshot([])
+    with pytest.raises(MetricsSchemaError):
+        validate_metrics_snapshot({"schema_version": 99, "metrics": []})
+    bad_hist = {
+        "schema_version": 1,
+        "metrics": [{
+            "name": "h", "type": "histogram", "labels": {},
+            "edges": [1.0, 2.0], "counts": [0, 1], "count": 1,
+        }],
+    }
+    with pytest.raises(MetricsSchemaError):  # counts must be len(edges)+1
+        validate_metrics_snapshot(bad_hist)
+    bad_count = {
+        "schema_version": 1,
+        "metrics": [{
+            "name": "h", "type": "histogram", "labels": {},
+            "edges": [1.0], "counts": [0, 3], "count": 1,
+        }],
+    }
+    with pytest.raises(MetricsSchemaError):  # count != sum(counts)
+        validate_metrics_snapshot(bad_count)
+
+
+def test_module_helpers_return_null_when_disabled():
+    assert metrics_mod.counter("x") is NULL_INSTRUMENT
+    assert metrics_mod.gauge("x") is NULL_INSTRUMENT
+    assert metrics_mod.histogram("x") is NULL_INSTRUMENT
+    metrics_mod.observe("x", 1.0)
+    assert metrics_mod.get_registry().series() == []
+
+
+def test_module_helpers_record_when_enabled():
+    reg = metrics_mod.get_registry()
+    reg.enabled = True
+    try:
+        metrics_mod.counter("msgs", kind="send").inc()
+        metrics_mod.observe("lat_s", 2e-3)
+    finally:
+        reg.enabled = False
+    assert reg.counter("msgs", kind="send").value == 1
+    assert reg.histogram("lat_s").count == 1
+
+
+def test_reset_drops_series():
+    reg = MetricsRegistry(enabled=True)
+    reg.counter("x").inc()
+    reg.reset()
+    assert reg.series() == []

@@ -1,0 +1,226 @@
+"""Span tracer: nesting, exception safety, Chrome export, disabled overhead."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.obs import trace as trace_mod
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    TraceSchemaError,
+    to_chrome_trace,
+    validate_chrome_trace,
+)
+
+
+def test_span_records_duration_and_attrs():
+    tracer = Tracer(enabled=True)
+    with tracer.span("work", batch=32):
+        time.sleep(0.001)
+    (s,) = tracer.spans
+    assert s.name == "work"
+    assert s.attrs["batch"] == 32
+    assert s.duration_ns >= 1_000_000
+    assert s.duration_s == pytest.approx(s.duration_ns * 1e-9)
+
+
+def test_nesting_parent_and_depth():
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer"):
+        with tracer.span("middle"):
+            with tracer.span("inner"):
+                pass
+    by_name = {s.name: s for s in tracer.spans}
+    assert by_name["outer"].parent is None and by_name["outer"].depth == 0
+    assert by_name["middle"].parent == "outer" and by_name["middle"].depth == 1
+    assert by_name["inner"].parent == "middle" and by_name["inner"].depth == 2
+    # inner spans finish (and record) before outer ones
+    assert [s.name for s in tracer.spans] == ["inner", "middle", "outer"]
+    assert [s.name for s in tracer.children_of("outer")] == ["middle"]
+
+
+def test_sibling_spans_share_parent():
+    tracer = Tracer(enabled=True)
+    with tracer.span("step"):
+        with tracer.span("compute"):
+            pass
+        with tracer.span("sync"):
+            pass
+    assert {s.name for s in tracer.children_of("step")} == {"compute", "sync"}
+
+
+def test_exception_closes_span_and_marks_error():
+    tracer = Tracer(enabled=True)
+    with pytest.raises(RuntimeError):
+        with tracer.span("outer"):
+            with tracer.span("fails"):
+                raise RuntimeError("boom")
+    by_name = {s.name: s for s in tracer.spans}
+    assert by_name["fails"].attrs["error"] == "RuntimeError"
+    assert by_name["fails"].end_ns is not None
+    assert by_name["outer"].attrs["error"] == "RuntimeError"
+    # the per-thread stack fully unwound
+    assert tracer.current_span() is None
+
+
+def test_set_updates_running_span():
+    tracer = Tracer(enabled=True)
+    with tracer.span("s") as live:
+        live.set(result="ok", n=3)
+    (s,) = tracer.spans
+    assert s.attrs == {"result": "ok", "n": 3}
+
+
+def test_disabled_returns_shared_null_span():
+    tracer = Tracer(enabled=False)
+    cm = tracer.span("ignored", x=1)
+    assert cm is NULL_SPAN
+    with cm:
+        pass
+    cm.set(anything="goes")
+    assert tracer.spans == [] and tracer.instants == []
+
+
+def test_module_helpers_follow_global_switch():
+    assert trace_mod.span("off") is NULL_SPAN
+    trace_mod.instant("off")
+    tracer = trace_mod.get_tracer()
+    assert tracer.spans == [] and tracer.instants == []
+    tracer.enabled = True
+    try:
+        with trace_mod.span("on"):
+            assert trace_mod.current_span().name == "on"
+        trace_mod.instant("mark", rank=1)
+    finally:
+        tracer.enabled = False
+    assert [s.name for s in tracer.spans] == ["on"]
+    assert [e.name for e in tracer.instants] == ["mark"]
+
+
+def test_disabled_overhead_smoke():
+    """The disabled path must be within sight of an empty with-block.
+
+    Generous bound (50x an empty context manager) — this is a smoke test
+    for an accidentally-enabled allocation or lock, not a benchmark; the
+    precise numbers live in the obs.span.disabled bench entry.
+    """
+    tracer = Tracer(enabled=False)
+    n = 2000
+
+    class Empty:
+        def __enter__(self):
+            return self
+
+        def __exit__(self, *exc):
+            return False
+
+    empty = Empty()
+    t0 = time.perf_counter_ns()
+    for _ in range(n):
+        with empty:
+            pass
+    empty_ns = time.perf_counter_ns() - t0
+
+    t0 = time.perf_counter_ns()
+    for _ in range(n):
+        with tracer.span("noop"):
+            pass
+    disabled_ns = time.perf_counter_ns() - t0
+    assert disabled_ns < max(50 * empty_ns, 5_000_000)
+
+
+def test_threads_get_distinct_tids_and_names():
+    tracer = Tracer(enabled=True)
+
+    def work():
+        with tracer.span("worker"):
+            pass
+
+    t = threading.Thread(target=work, name="rank-7")
+    t.start()
+    t.join()
+    with tracer.span("main"):
+        pass
+    tids = {s.tid for s in tracer.spans}
+    assert len(tids) == 2
+    payload = tracer.to_chrome()
+    names = {
+        ev["args"]["name"]
+        for ev in payload["traceEvents"]
+        if ev["ph"] == "M" and ev["name"] == "thread_name"
+    }
+    assert "rank-7" in names
+
+
+def test_max_events_bounds_memory():
+    tracer = Tracer(enabled=True, max_events=10)
+    for i in range(50):
+        with tracer.span(f"s{i}"):
+            pass
+    assert len(tracer.spans) <= 10
+
+
+def test_chrome_round_trip_validates(tmp_path):
+    tracer = Tracer(enabled=True)
+    with tracer.span("outer", epoch=1):
+        with tracer.span("inner"):
+            pass
+    tracer.instant("fault.kill", rank=2)
+    path = tmp_path / "trace.json"
+    tracer.export_chrome(str(path))
+    payload = json.loads(path.read_text())
+    validate_chrome_trace(payload)
+    phases = {ev["ph"] for ev in payload["traceEvents"]}
+    assert "X" in phases and "i" in phases
+    complete = [ev for ev in payload["traceEvents"] if ev["ph"] == "X"]
+    assert {ev["name"] for ev in complete} == {"outer", "inner"}
+    for ev in complete:
+        assert ev["ts"] >= 0 and ev["dur"] >= 0
+        assert ev["pid"] == 0 and isinstance(ev["tid"], int)
+    (mark,) = [ev for ev in payload["traceEvents"] if ev["ph"] == "i"]
+    assert mark["name"] == "fault.kill" and mark["args"] == {"rank": 2}
+
+
+def test_chrome_args_coerced_json_safe():
+    spans = [Span("s", start_ns=0, end_ns=10, attrs={"obj": object(), "t": (1, 2)})]
+    payload = to_chrome_trace(spans)
+    validate_chrome_trace(payload)
+    args = payload["traceEvents"][0]["args"]
+    assert isinstance(args["obj"], str)
+    assert args["t"] == [1, 2]
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        [],
+        {"events": []},
+        {"traceEvents": [{"ph": "Z", "name": "x", "pid": 0, "tid": 0, "ts": 0}]},
+        {"traceEvents": [{"ph": "X", "pid": 0, "tid": 0, "ts": 0, "dur": 1}]},
+        {"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": -5, "dur": 1}]},
+        {"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0}]},
+        {"traceEvents": [{"ph": "i", "name": "x", "pid": 0, "tid": 0, "ts": 0, "s": "q"}]},
+        {"traceEvents": [{"ph": "X", "name": "x", "pid": 0, "tid": 0, "ts": 0, "dur": 1,
+                          "args": 7}]},
+    ],
+)
+def test_validate_rejects_malformed(payload):
+    with pytest.raises(TraceSchemaError):
+        validate_chrome_trace(payload)
+
+
+def test_clear_resets_origin():
+    tracer = Tracer(enabled=True)
+    with tracer.span("a"):
+        pass
+    tracer.clear()
+    assert tracer.spans == []
+    with tracer.span("b"):
+        pass
+    payload = tracer.to_chrome()
+    (ev,) = [e for e in payload["traceEvents"] if e["ph"] == "X"]
+    assert 0 <= ev["ts"] < 1e6  # starts near zero again

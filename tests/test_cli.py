@@ -37,6 +37,74 @@ def test_train_cluster(capsys):
     assert "simulated ranks" in out
 
 
+def test_train_trace_export(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["train", "--model", "mlp", "--optimizer", "sgd",
+                 "--batch", "64", "--epochs", "1", "--dataset", "tiny",
+                 "--trace", str(trace_path),
+                 "--metrics-out", str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert "wrote trace" in out and "wrote metrics" in out
+    from repro.obs.metrics import validate_metrics_snapshot
+    from repro.obs.trace import validate_chrome_trace
+
+    payload = json.loads(trace_path.read_text())
+    validate_chrome_trace(payload)
+    assert any(ev["name"] == "trainer.train_step" for ev in payload["traceEvents"])
+    validate_metrics_snapshot(json.loads(metrics_path.read_text()))
+
+
+def test_train_without_trace_leaves_obs_disabled():
+    from repro import obs
+
+    assert main(["train", "--model", "mlp", "--optimizer", "sgd",
+                 "--batch", "64", "--epochs", "1", "--dataset", "tiny"]) == 0
+    assert not obs.is_enabled()
+    assert obs.get_tracer().spans == []
+
+
+def test_quiet_suppresses_info(capsys):
+    from repro.obs.console import configure_verbosity
+
+    try:
+        assert main(["-q", "info"]) == 0
+        assert capsys.readouterr().out == ""
+    finally:
+        configure_verbosity()
+
+
+def test_trace_export_validate_summary(tmp_path, capsys):
+    import json
+
+    trace_path = tmp_path / "trace.json"
+    metrics_path = tmp_path / "metrics.json"
+    assert main(["trace", "export", "--out", str(trace_path),
+                 "--metrics-out", str(metrics_path),
+                 "--world", "2", "--epochs", "1", "--examples", "64"]) == 0
+    capsys.readouterr()
+    payload = json.loads(trace_path.read_text())
+    names = {ev["name"] for ev in payload["traceEvents"]}
+    assert "cluster.grad_sync" in names
+
+    assert main(["trace", "validate", str(trace_path), str(metrics_path)]) == 0
+    out = capsys.readouterr().out
+    assert out.count("ok (") == 2
+
+    assert main(["trace", "summary", str(trace_path)]) == 0
+    out = capsys.readouterr().out
+    assert "trainer.train_step" in out
+
+
+def test_trace_validate_rejects_garbage(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text('{"not": "a trace"}')
+    assert main(["trace", "validate", str(bad)]) == 1
+    assert str(bad) in capsys.readouterr().err
+
+
 def test_unknown_command_rejected():
     with pytest.raises(SystemExit):
         main(["frobnicate"])

@@ -30,6 +30,20 @@ class TestTimer:
     def test_mean_empty(self):
         assert Timer().mean == 0.0
 
+    def test_integer_ns_accumulation(self):
+        t = Timer()
+        with t:
+            pass
+        assert t.total_ns > 0
+        assert t.total == pytest.approx(t.total_ns * 1e-9)
+        t.reset()
+        assert t.total_ns == 0 and t.total == 0.0
+
+    def test_total_is_read_only(self):
+        t = Timer()
+        with pytest.raises(AttributeError):
+            t.total = 1.0
+
 
 class TestLayerProfiler:
     def test_records_all_layers(self):
@@ -73,6 +87,28 @@ class TestLayerProfiler:
         expected = model.forward(x)
         prof = LayerProfiler(model)
         assert np.array_equal(model.forward(x), expected)
+
+    def test_tracer_spans_per_layer(self):
+        from repro.obs.trace import Tracer
+
+        model = mlp(6, [8], 3)
+        tracer = Tracer(enabled=True)
+        prof = LayerProfiler(model, tracer=tracer)
+        out = model.forward(np.zeros((4, 6)))
+        model.backward(np.ones_like(out))
+        assert len(tracer.spans_named("layer.forward")) == len(model.layers)
+        assert len(tracer.spans_named("layer.backward")) == len(model.layers)
+        # timers still accumulate alongside the spans
+        assert all(t.count == 1 for t in prof.forward_time.values())
+
+    def test_disabled_tracer_emits_no_spans(self):
+        from repro.obs.trace import Tracer
+
+        model = mlp(6, [8], 3)
+        tracer = Tracer(enabled=False)
+        LayerProfiler(model, tracer=tracer)
+        model.forward(np.zeros((4, 6)))
+        assert tracer.spans == []
 
 
 class TestPlotting:
