@@ -51,6 +51,13 @@ def _add_train_parser(sub) -> None:
     p.add_argument("--world", type=int, default=1,
                    help="simulated ranks (1 = serial)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--bucket-bytes", type=int, default=None, metavar="N",
+                   help="split the gradient exchange into ~N-byte buckets "
+                        "(cluster runs; see repro.cluster.bucketing)")
+    p.add_argument("--overlap", action="store_true",
+                   help="overlap bucketed gradient allreduces with backward "
+                        "compute (cluster runs; implies 1 MiB buckets unless "
+                        "--bucket-bytes is given)")
     fault = p.add_argument_group(
         "fault injection (cluster runs only; see repro.faults)")
     fault.add_argument("--drop-prob", type=float, default=0.0,
@@ -177,6 +184,8 @@ def cmd_train(args) -> int:
 
         config = SyncSGDConfig(world=args.world, epochs=args.epochs,
                                batch_size=args.batch, shuffle_seed=args.seed,
+                               bucket_bytes=args.bucket_bytes,
+                               overlap=args.overlap,
                                fault_plan=fault_plan,
                                recv_timeout=(args.recv_timeout
                                              if fault_plan else None),
@@ -185,6 +194,11 @@ def cmd_train(args) -> int:
                              ds.x_train, ds.y_train, ds.x_test, ds.y_test, config)
         console.info(f"final test accuracy: {res.final_test_accuracy:.4f} "
                      f"({args.world} simulated ranks, {res.messages} messages)")
+        if args.overlap or args.bucket_bytes is not None:
+            console.info(
+                f"gradient exchange: exposed {res.exposed_comm_seconds:.4f}s "
+                f"of {res.comm_busy_seconds:.4f}s busy "
+                f"(overlap efficiency {res.overlap_efficiency:.1%})")
         if res.fault_stats is not None:
             console.info(f"faults: {res.fault_stats.summary()}")
             for report in res.fault_reports:

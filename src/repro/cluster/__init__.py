@@ -5,6 +5,7 @@ master-worker variants) and the asynchronous parameter-server baseline it is
 contrasted with.
 """
 
+from .bucketing import Bucket, BucketedExchange, BucketPlan
 from .compression import (
     CompressionStats,
     Compressor,
@@ -25,6 +26,9 @@ __all__ = [
     "SyncSGDConfig",
     "ClusterResult",
     "train_sync_sgd",
+    "Bucket",
+    "BucketPlan",
+    "BucketedExchange",
     "EASGDConfig",
     "EASGDResult",
     "train_easgd",

@@ -21,17 +21,20 @@ __all__ = ["flatten_grads", "unflatten_grads", "flatten_params", "unflatten_para
 def _flatten(arrays: Sequence[np.ndarray], out: np.ndarray | None = None) -> np.ndarray:
     if not arrays:
         raise ValueError("nothing to flatten")
-    if out is not None:
-        total = sum(a.size for a in arrays)
-        if out.shape != (total,):
-            raise ValueError(f"out buffer has shape {out.shape}, expected ({total},)")
-        offset = 0
-        for a in arrays:
-            flat = a.reshape(-1)
-            out[offset : offset + flat.size] = flat
-            offset += flat.size
-        return out
-    return np.concatenate([a.ravel() for a in arrays])
+    total = sum(a.size for a in arrays)
+    if out is None:
+        # single preallocation + one fill pass; np.concatenate would first
+        # materialise a temp list of per-array copies for non-contiguous
+        # inputs, doubling the transient footprint at |W| scale
+        out = np.empty(total, dtype=arrays[0].dtype)
+    elif out.shape != (total,):
+        raise ValueError(f"out buffer has shape {out.shape}, expected ({total},)")
+    offset = 0
+    for a in arrays:
+        flat = a.reshape(-1)
+        out[offset : offset + flat.size] = flat
+        offset += flat.size
+    return out
 
 
 def _unflatten_into(flat: np.ndarray, targets: Sequence[np.ndarray]) -> None:

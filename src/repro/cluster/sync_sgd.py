@@ -108,6 +108,20 @@ class SyncSGDConfig:
         (allreduce mode only): each rank keeps its own stateful compressor
         (error feedback is per-worker) and the wire carries compressed
         payloads.  ``None`` = full-precision exchange.
+    bucket_bytes:
+        Split the gradient exchange into ~this many bytes per bucket
+        (allreduce mode only); ``None`` with ``overlap=False`` keeps the
+        monolithic single-message exchange.  See
+        :mod:`repro.cluster.bucketing`.
+    overlap:
+        Overlap gradient communication with backward compute: each
+        bucket's allreduce launches as soon as backward finalises its
+        gradients, so per-step simulated time is ``max(compute, comm)``
+        instead of their sum.  Implies bucketing (default 1 MiB buckets
+        when ``bucket_bytes`` is unset).  Results are bit-identical to the
+        monolithic exchange for the ``tree``/``rhd`` algorithms; ``ring``
+        agrees to summation-order tolerance (~1e-12).  Incompatible with
+        ``compressor_factory`` (compression is blocking per bucket).
     shuffle_seed:
         Must match the serial trainer's for consistency comparisons.
     eval_every:
@@ -143,6 +157,8 @@ class SyncSGDConfig:
     profile: NetworkProfile | None = None
     compute_time: Callable[[int], float] | None = None
     compressor_factory: Callable[[], object] | None = None
+    bucket_bytes: int | None = None
+    overlap: bool = False
     shuffle_seed: int = 0
     eval_every: int = 1
     #: restart support: epoch to resume from plus the states to load (every
@@ -195,6 +211,17 @@ class SyncSGDConfig:
             raise ValueError("start_epoch must be in [0, epochs)")
         if self.compressor_factory is not None and self.mode != "allreduce":
             raise ValueError("compressed exchange requires allreduce mode")
+        if self.bucket_bytes is not None and self.bucket_bytes <= 0:
+            raise ValueError(
+                f"bucket_bytes must be positive (got {self.bucket_bytes})"
+            )
+        if (self.bucket_bytes is not None or self.overlap) and self.mode != "allreduce":
+            raise ValueError("bucketed/overlapped exchange requires allreduce mode")
+        if self.overlap and self.compressor_factory is not None:
+            raise ValueError(
+                "overlap is incompatible with compressed exchange "
+                "(compression is blocking per bucket: set overlap=False)"
+            )
         if self.checkpoint_every < 1:
             raise ValueError(
                 f"checkpoint_every must be >= 1 epoch (got {self.checkpoint_every})"
@@ -236,6 +263,19 @@ class ClusterResult:
     recoveries: int = 0
     #: ranks still alive at the end (== world when nothing died)
     final_world: int = 0
+    #: rank 0's simulated seconds spent *blocked* on gradient communication
+    #: (the part of the α-β cost overlap could not hide)
+    exposed_comm_seconds: float = 0.0
+    #: rank 0's total gradient-allreduce occupancy in simulated seconds
+    #: (sum over buckets; == exposed for every blocking exchange)
+    comm_busy_seconds: float = 0.0
+
+    @property
+    def overlap_efficiency(self) -> float:
+        """Fraction of gradient communication hidden under compute."""
+        if self.comm_busy_seconds <= 0.0:
+            return 0.0
+        return 1.0 - self.exposed_comm_seconds / self.comm_busy_seconds
 
     @property
     def final_test_accuracy(self) -> float:
@@ -303,19 +343,27 @@ def _sync_gradient_master(
     optimizer: Optimizer,
     weight: float,
     lr: float,
+    grad_bucket: np.ndarray | None = None,
+    param_bucket: np.ndarray | None = None,
 ) -> None:
     """Figure 2(a) mode: reduce to master, master updates, weights broadcast.
 
     Only rank 0's optimiser state advances; worker replicas just load the
     broadcast weights, exactly like parameter-server-style sync SGD.
+
+    ``grad_bucket``/``param_bucket`` are reusable |W| flat buffers for the
+    gradient reduce and the weight broadcast — same buffer-reuse discipline
+    as the allreduce path (the fabric copies payloads on send, so reuse
+    across iterations is safe).
     """
     params = model.parameters()
-    flat = flatten_grads(params) * weight
+    flat = flatten_grads(params, out=grad_bucket)
+    flat *= weight
     total = comm.reduce(flat, root=0)
     if comm.rank == 0:
         unflatten_grads(total, params)
         optimizer.step(lr)
-        new_weights = flatten_params(params)
+        new_weights = flatten_params(params, out=param_bucket)
     else:
         new_weights = None
     new_weights = comm.bcast(new_weights, root=0)
@@ -371,6 +419,10 @@ def train_sync_sgd(
             iteration = start_epoch * iters_per_epoch
             history: list[EpochRecord] = []
             time_curve: list[tuple[int, float, float]] = []
+            # gradient-exchange accounting for the monolithic path (the
+            # bucketed exchange keeps its own running totals)
+            exposed_total = 0.0
+            busy_total = 0.0
 
             # SyncBatchNorm layers need this rank's communicator; their
             # presence switches the gradient protocol to pre-scaling.
@@ -381,10 +433,30 @@ def train_sync_sgd(
             compressor = (
                 cfg.compressor_factory() if cfg.compressor_factory else None
             )
-            # Reusable flat gradient bucket (one |W| buffer per rank).
+            # Reusable flat gradient bucket (one |W| buffer per rank); master
+            # mode also reuses a |W| buffer for the weight broadcast.
             grad_bucket = np.empty(
                 sum(p.size for p in model.parameters()), dtype=np.float64
             )
+            param_bucket = (
+                np.empty_like(grad_bucket) if cfg.mode == "master" else None
+            )
+            # Bucketed (optionally overlapped) gradient exchange — see
+            # repro.cluster.bucketing.  The monolithic path below stays
+            # byte-identical when neither bucket_bytes nor overlap is set.
+            exchange = None
+            if cfg.mode == "allreduce" and (cfg.overlap or cfg.bucket_bytes is not None):
+                from .bucketing import BucketedExchange, BucketPlan
+
+                exchange = BucketedExchange(
+                    comm,
+                    BucketPlan.from_model(model, bucket_bytes=cfg.bucket_bytes),
+                    algorithm=cfg.algorithm,
+                    overlap=cfg.overlap,
+                    compressor=compressor,
+                )
+                if cfg.overlap:
+                    exchange.install_hooks(model)
 
             for epoch in range(start_epoch, cfg.epochs):
                 order = epoch_permutation(n, epoch, cfg.shuffle_seed)
@@ -405,13 +477,24 @@ def train_sync_sgd(
                     # cross-rank sum the exact global-batch mean even when
                     # shards are uneven
                     weight = len(local_idx) / gbs
+                    combine_weight = 1.0 if uses_sync_bn else weight
+                    overlapping = exchange is not None and cfg.overlap
 
                     with _timed("trainer.train_step", rank=comm.rank,
                                 iteration=iteration, epoch=epoch):
+                        step_seconds = (
+                            cfg.compute_time(len(local_idx))
+                            if cfg.compute_time is not None and len(local_idx) > 0
+                            else 0.0
+                        )
                         with _timed("cluster.compute", rank=comm.rank,
                                     examples=len(local_idx)):
                             model.train()
                             optimizer.zero_grad()
+                            if overlapping:
+                                # charges forward time now; backward time is
+                                # charged per bucket as the hooks launch
+                                exchange.begin_step(combine_weight, step_seconds)
                             # With SyncBatchNorm every rank must join the
                             # collective forward/backward, even on an empty
                             # shard, and the loss gradient is pre-scaled so
@@ -431,11 +514,9 @@ def train_sync_sgd(
                                         top1_accuracy(logits, yb) * len(local_idx)
                                     )
                                     seen += len(local_idx)
-                                    if cfg.compute_time is not None:
-                                        comm.compute(
-                                            cfg.compute_time(len(local_idx))
-                                        )
-                        combine_weight = 1.0 if uses_sync_bn else weight
+                                    if (not overlapping
+                                            and cfg.compute_time is not None):
+                                        comm.compute(step_seconds)
 
                         # Simulated seconds this rank spends in the gradient
                         # exchange: its own send cost plus any wait for
@@ -444,16 +525,27 @@ def train_sync_sgd(
                         with _timed("cluster.grad_sync", rank=comm.rank,
                                     mode=cfg.mode):
                             if cfg.mode == "allreduce":
-                                _sync_gradient_allreduce(
-                                    comm, model, combine_weight,
-                                    cfg.algorithm, compressor,
-                                    bucket=grad_bucket)
+                                if overlapping:
+                                    exchange.finish_step()
+                                elif exchange is not None:
+                                    exchange.sync_blocking(combine_weight)
+                                else:
+                                    _sync_gradient_allreduce(
+                                        comm, model, combine_weight,
+                                        cfg.algorithm, compressor,
+                                        bucket=grad_bucket)
                                 optimizer.step(lr)
                             else:
-                                _sync_gradient_master(comm, model, optimizer,
-                                                      combine_weight, lr)
+                                _sync_gradient_master(
+                                    comm, model, optimizer, combine_weight,
+                                    lr, grad_bucket=grad_bucket,
+                                    param_bucket=param_bucket)
+                        sync_elapsed = comm.time - sync_start
+                        if exchange is None:
+                            exposed_total += sync_elapsed
+                            busy_total += sync_elapsed
                         _gauge("cluster.straggler_wait_s",
-                               rank=comm.rank).set(comm.time - sync_start)
+                               rank=comm.rank).set(sync_elapsed)
                     iteration += 1
 
                 # per-epoch metric aggregation: one tiny allreduce
@@ -510,11 +602,16 @@ def train_sync_sgd(
                                  path=snapshot["path"], sim_seconds=comm.time)
 
             if comm.rank == 0:
+                if exchange is not None:
+                    exposed_total = exchange.exposed_seconds
+                    busy_total = exchange.busy_seconds
                 return {
                     "history": history,
                     "time_curve": time_curve,
                     "state": model.state_dict(),
                     "optimizer_state": optimizer.state_dict(),
+                    "exposed_comm_seconds": exposed_total,
+                    "comm_busy_seconds": busy_total,
                 }
             return None
 
@@ -578,6 +675,8 @@ def train_sync_sgd(
             final_state=root["state"],
             final_optimizer_state=root["optimizer_state"],
             final_world=config.world,
+            exposed_comm_seconds=root["exposed_comm_seconds"],
+            comm_busy_seconds=root["comm_busy_seconds"],
         )
 
     # ---- fault-tolerant controller: attempts + elastic recovery --------------
@@ -627,6 +726,8 @@ def train_sync_sgd(
                 fault_reports=reports,
                 recoveries=recoveries,
                 final_world=world,
+                exposed_comm_seconds=root["exposed_comm_seconds"],
+                comm_busy_seconds=root["comm_busy_seconds"],
             )
 
         # -- the attempt failed: diagnose -----------------------------------

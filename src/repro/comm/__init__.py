@@ -30,6 +30,7 @@ from .errors import (
 )
 from .fabric import Envelope, FabricStats, NetworkProfile, SimulatedFabric
 from .hierarchical import allreduce_hierarchical, hierarchical_cost, node_groups
+from .nonblocking import AllreduceRequest, RecvRequest, Request, SendRequest
 from .reliable import RetransmitPolicy
 
 __all__ = [
@@ -49,6 +50,10 @@ __all__ = [
     "FailureDetector",
     "PeerStatus",
     "RetransmitPolicy",
+    "Request",
+    "SendRequest",
+    "RecvRequest",
+    "AllreduceRequest",
     "ALLREDUCE_ALGORITHMS",
     "allreduce_tree",
     "allreduce_ring",

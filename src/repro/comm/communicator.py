@@ -21,6 +21,7 @@ import numpy as np
 
 from . import collectives as coll
 from .fabric import NetworkProfile, SimulatedFabric
+from .nonblocking import AllreduceRequest, RecvRequest, SendRequest
 
 __all__ = ["Communicator", "run_cluster"]
 
@@ -85,10 +86,15 @@ class Communicator:
     def send(self, dst: int, payload, tag: int = 0) -> None:
         self.fabric.send(self.rank, dst, payload, tag=tag)
 
-    def isend(self, dst: int, payload, tag: int = 0) -> None:
+    def isend(self, dst: int, payload, tag: int = 0) -> SendRequest:
         """Nonblocking send (sender charged only the injection latency α);
         the transfer completes in the background — overlap primitive."""
         self.fabric.isend(self.rank, dst, payload, tag=tag)
+        return SendRequest()
+
+    def irecv(self, src: int, tag: int = 0) -> RecvRequest:
+        """Post a nonblocking receive; complete it via ``test``/``wait``."""
+        return RecvRequest(self, src, tag=tag)
 
     def recv(self, src: int, tag: int = 0, timeout: float | None = None):
         """Blocking receive; ``timeout`` overrides the communicator default."""
@@ -118,6 +124,23 @@ class Communicator:
             raise ValueError(f"unknown allreduce algorithm {algorithm!r}")
         fn = coll.ALLREDUCE_ALGORITHMS[algorithm]
         return fn(self, array, tag=self._next_tag())
+
+    def iallreduce(
+        self, array: np.ndarray, algorithm: str = "tree", copy: bool = True
+    ) -> AllreduceRequest:
+        """Launch a nonblocking global sum; progress via ``test``, finish
+        via ``wait`` (which returns the reduced array and charges the rank
+        clock ``max`` with the operation's completion time).
+
+        Like every collective this matches by program order: each rank must
+        launch its iallreduces in the same sequence.  Completion order is
+        free — any number may be in flight, each on a private tag block.
+        With ``copy=False`` the operation reduces in place into ``array``
+        (which must be a contiguous float64 vector).
+        """
+        return AllreduceRequest(
+            self, array, algorithm, tag=self._next_tag(), copy=copy
+        )
 
     def allreduce_hierarchical(
         self, array: np.ndarray, node_size: int, inter_algorithm: str = "ring"

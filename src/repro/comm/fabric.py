@@ -230,6 +230,39 @@ class SimulatedFabric:
         _record_message("isend", nbytes)
         self._deliver(Envelope(payload, nbytes, arrival, src, tag), dst)
 
+    def post_send(
+        self, src: int, dst: int, payload, tag: int = 0,
+        at_time: float | None = None,
+    ) -> float:
+        """NIC-offloaded send posted at simulated time ``at_time``.
+
+        Unlike :meth:`send`/:meth:`isend`, the sender's *rank clock* is not
+        touched at all: the message belongs to an asynchronous operation
+        (an in-flight bucket allreduce) whose progress engine keeps its own
+        operation clock.  The payload arrives a full ``α + β·n`` after
+        ``at_time`` (default: the sender's current clock); the arrival time
+        is returned so the operation can advance its pipeline.
+
+        Fault injection applies per posted message — every bucket of a
+        bucketed exchange rolls its own loss/delay decision, exactly like
+        the per-message reliable link under blocking sends.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if src == dst:
+            raise ValueError("self-sends are not allowed; use local state")
+        if isinstance(payload, np.ndarray):
+            payload = payload.copy()
+        nbytes = payload_nbytes(payload)
+        extra = self._fault_delay(src, dst)
+        t_post = self.clocks[src].time if at_time is None else at_time
+        arrival = t_post + self.profile.transfer_time(nbytes) + extra
+        with self._stats_lock:
+            self.stats.record(nbytes)
+        _record_message("post", nbytes)
+        self._deliver(Envelope(payload, nbytes, arrival, src, tag), dst)
+        return arrival
+
     def send(self, src: int, dst: int, payload, tag: int = 0) -> None:
         """Deliver ``payload`` from ``src`` to ``dst``; advances src's clock.
 
@@ -260,8 +293,38 @@ class SimulatedFabric:
             self._mailboxes[dst][(env.src, env.tag)].append(env)
             cond.notify_all()
 
-    def recv(self, dst: int, src: int, tag: int = 0, timeout: float = 60.0):
-        """Blocking receive; merges the arrival time into dst's clock.
+    def poll(self, dst: int, src: int, tag: int = 0) -> Envelope | None:
+        """Nonblocking mailbox check: pop and return the next envelope on
+        ``(src, tag)`` if one is queued, else ``None``.  Never blocks and
+        never touches any clock — the caller (a request's ``test``) decides
+        what completion means for simulated time.
+
+        Raises :class:`ClusterHalted` if the job aborted, and
+        :class:`PeerDeadError` once ``src`` is dead with nothing queued.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        cond = self._conditions[dst]
+        key = (src, tag)
+        box = self._mailboxes[dst]
+        with cond:
+            if self._halted:
+                raise ClusterHalted(dst, self._halt_reason)
+            if len(box[key]) > 0:
+                return box[key].popleft()
+            if src in self._dead:
+                raise PeerDeadError(dst, src, tag)
+            return None
+
+    def recv_envelope(
+        self, dst: int, src: int, tag: int = 0, timeout: float = 60.0
+    ) -> Envelope:
+        """Blocking receive returning the raw :class:`Envelope` without
+        merging its arrival time into ``dst``'s clock.
+
+        The nonblocking request layer builds on this: an in-flight
+        operation consumes arrival times on its own pipeline clock and only
+        merges into the rank clock when the caller *waits* on the result.
 
         Raises :class:`FabricTimeout` after ``timeout`` wall seconds,
         :class:`PeerDeadError` as soon as ``src`` is known dead (in-flight
@@ -282,12 +345,21 @@ class SimulatedFabric:
             if self._halted:
                 raise ClusterHalted(dst, self._halt_reason)
             if len(box[key]) > 0:
-                env = box[key].popleft()
-            elif src in self._dead:
+                return box[key].popleft()
+            if src in self._dead:
                 raise PeerDeadError(dst, src, tag)
-            else:
-                assert not ok
-                raise FabricTimeout(dst, src, tag, timeout)
+            assert not ok
+            raise FabricTimeout(dst, src, tag, timeout)
+
+    def recv(self, dst: int, src: int, tag: int = 0, timeout: float = 60.0):
+        """Blocking receive; merges the arrival time into dst's clock.
+
+        Raises :class:`FabricTimeout` after ``timeout`` wall seconds,
+        :class:`PeerDeadError` as soon as ``src`` is known dead (in-flight
+        messages are still drained first), and :class:`ClusterHalted` if
+        any rank aborted the job.
+        """
+        env = self.recv_envelope(dst, src, tag=tag, timeout=timeout)
         self.clocks[dst].merge(env.arrival_time)
         return env.payload
 

@@ -100,6 +100,34 @@ class Module:
     def num_parameters(self) -> int:
         return sum(p.size for p in self.parameters())
 
+    def register_grad_ready_hook(self, hook) -> "Module":
+        """Call ``hook(module)`` after every ``backward`` on this module.
+
+        By that point the module's parameter gradients for the step are
+        final (each module supports one outstanding forward, so one
+        backward per step), which is exactly the signal a bucketed
+        gradient exchange needs to launch a bucket while earlier layers
+        are still differentiating.  The wrapper is installed per
+        *instance* — other instances of the class are untouched.  Returns
+        ``self`` for chaining.
+        """
+        inner = type(self).backward
+
+        def wrapped(grad_out: np.ndarray) -> np.ndarray:
+            grad_in = inner(self, grad_out)
+            hook(self)
+            return grad_in
+
+        self.backward = wrapped
+        self._grad_ready_hook = hook
+        return self
+
+    def remove_grad_ready_hook(self) -> "Module":
+        """Undo :meth:`register_grad_ready_hook` (no-op if none installed)."""
+        vars(self).pop("backward", None)
+        vars(self).pop("_grad_ready_hook", None)
+        return self
+
     def assign_names(self, prefix: str = "") -> None:
         """Assign dotted-path names to every parameter in the subtree.
 

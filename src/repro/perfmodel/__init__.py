@@ -30,6 +30,13 @@ from .hardware import (
     device,
     network,
 )
+from .overlap import (
+    DEFAULT_BUCKET_BYTES,
+    OverlapStepEstimate,
+    greedy_partition,
+    predict_run_seconds,
+    predict_step_time,
+)
 from .throughput import (
     ThroughputPoint,
     device_throughput,
@@ -59,6 +66,11 @@ __all__ = [
     "estimate_training_time",
     "iteration_breakdown",
     "overlapped_iteration_time",
+    "DEFAULT_BUCKET_BYTES",
+    "OverlapStepEstimate",
+    "greedy_partition",
+    "predict_step_time",
+    "predict_run_seconds",
     "table2_row",
     "weak_scaling_efficiency",
     "ThroughputPoint",
