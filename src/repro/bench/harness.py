@@ -40,7 +40,7 @@ __all__ = [
 ]
 
 #: registered benchmark areas, in file/report order
-AREAS = ("nn", "core", "comm", "cluster", "data", "overlap")
+AREAS = ("nn", "core", "comm", "cluster", "data", "overlap", "memory")
 
 
 @dataclass(frozen=True)

@@ -6,6 +6,6 @@ setup belongs inside the registered setup callables, which only run when
 the benchmark is selected).
 """
 
-from . import cluster, comm, core, data, nn, overlap  # noqa: F401
+from . import cluster, comm, core, data, memory, nn, overlap  # noqa: F401
 
-__all__ = ["nn", "core", "comm", "cluster", "data", "overlap"]
+__all__ = ["nn", "core", "comm", "cluster", "data", "memory", "overlap"]

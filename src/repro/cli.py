@@ -81,6 +81,15 @@ def _add_train_parser(sub) -> None:
     fault.add_argument("--recv-timeout", type=float, default=10.0,
                        help="wall seconds a recv waits before declaring a "
                             "peer unresponsive (fault runs only)")
+    mem = p.add_argument_group("static memory (see docs/architecture.md)")
+    mem.add_argument("--static-memory", action="store_true",
+                     help="plan activation/gradient buffers once and run every "
+                          "step out of a persistent arena (bitwise-identical "
+                          "results, zero steady-state allocations)")
+    mem.add_argument("--check-zero-alloc", action="store_true",
+                     help="after training, run two extra steps and fail unless "
+                          "the arena performed zero fresh allocations "
+                          "(implies --static-memory; serial runs only)")
     obs = p.add_argument_group("telemetry (see docs/observability.md)")
     obs.add_argument("--trace", default=None, metavar="PATH",
                      help="capture spans and write Chrome trace-event JSON "
@@ -129,6 +138,12 @@ def cmd_train(args) -> int:
 
         enable()
         reset()
+
+    static_memory = bool(args.static_memory or args.check_zero_alloc)
+    if args.check_zero_alloc and args.world > 1:
+        raise SystemExit("error: --check-zero-alloc requires a serial run "
+                         "(--world 1); per-rank arenas are not inspectable "
+                         "after a cluster run")
 
     ds = proxy_dataset(args.dataset)
     kwargs = {"num_classes": ds.num_classes, "seed": args.seed}
@@ -189,7 +204,8 @@ def cmd_train(args) -> int:
                                fault_plan=fault_plan,
                                recv_timeout=(args.recv_timeout
                                              if fault_plan else None),
-                               checkpoint_dir=args.checkpoint_dir)
+                               checkpoint_dir=args.checkpoint_dir,
+                               static_memory=static_memory)
         res = train_sync_sgd(builder, opt_builder, schedule,
                              ds.x_train, ds.y_train, ds.x_test, ds.y_test, config)
         console.info(f"final test accuracy: {res.final_test_accuracy:.4f} "
@@ -205,15 +221,38 @@ def cmd_train(args) -> int:
                 console.info(report.format())
     else:
         trainer = Trainer(model, opt_builder(model.parameters()), schedule,
-                          shuffle_seed=args.seed)
+                          shuffle_seed=args.seed, static_memory=static_memory)
+        batch_size = min(args.batch, ds.n_train)
         with np.errstate(all="ignore"):
             res = trainer.fit(ds.x_train, ds.y_train, ds.x_test, ds.y_test,
                               epochs=args.epochs,
-                              batch_size=min(args.batch, ds.n_train),
+                              batch_size=batch_size,
                               callback=lambda r: console.info(
                                   f"  epoch {r.epoch:3d}  loss {r.train_loss:7.4f}  "
                                   f"test {r.test_accuracy:.4f}"))
         console.info(f"peak test accuracy: {res.peak_test_accuracy:.4f}")
+        if args.check_zero_alloc:
+            from .nn.memory import MemoryPlan
+
+            xb, yb = ds.x_train[:batch_size], ds.y_train[:batch_size]
+            with np.errstate(all="ignore"):
+                trainer.train_step(xb, yb)  # settle any eval-shape churn
+                before = trainer.arena_stats()["bytes_allocated"]
+                trainer.train_step(xb, yb)
+                trainer.train_step(xb, yb)
+                after = trainer.arena_stats()["bytes_allocated"]
+            stats = trainer.arena_stats()
+            plan = MemoryPlan.build(model, ds.input_shape, batch_size,
+                                    loss=trainer.loss)
+            console.info(
+                f"arena: peak {stats['peak_bytes']:,} bytes over the run "
+                f"(train-step plan: {plan.peak_bytes:,}; evaluation batches "
+                f"share the arena), "
+                f"{after - before:,} bytes allocated over 2 steady-state steps")
+            if after != before:
+                console.info("zero-alloc check FAILED")
+                return 1
+            console.info("zero-alloc check passed")
 
     if telemetry:
         from .obs import disable, export_metrics, export_trace, reset

@@ -71,6 +71,7 @@ from ..faults import (
 from ..nn.layers.base import Module
 from ..nn.layers.norm import SyncBatchNorm
 from ..nn.losses import SoftmaxCrossEntropy
+from ..nn.memory import MemoryContext
 from ..obs import timed as _timed
 from ..obs.events import publish as _publish
 from ..obs.metrics import gauge as _gauge
@@ -122,6 +123,11 @@ class SyncSGDConfig:
         monolithic exchange for the ``tree``/``rhd`` algorithms; ``ring``
         agrees to summation-order tolerance (~1e-12).  Incompatible with
         ``compressor_factory`` (compression is blocking per bucket).
+    static_memory:
+        Each rank binds a :class:`repro.nn.MemoryContext` to its replica
+        and loss, so steady-state steps run allocation-free out of a
+        per-rank arena.  Results are bitwise identical to the eager run
+        (``False``, the escape hatch).
     shuffle_seed:
         Must match the serial trainer's for consistency comparisons.
     eval_every:
@@ -159,6 +165,7 @@ class SyncSGDConfig:
     compressor_factory: Callable[[], object] | None = None
     bucket_bytes: int | None = None
     overlap: bool = False
+    static_memory: bool = False
     shuffle_seed: int = 0
     eval_every: int = 1
     #: restart support: epoch to resume from plus the states to load (every
@@ -412,6 +419,11 @@ def train_sync_sgd(
             model = model_builder()
             optimizer = optimizer_builder(model.parameters())
             loss_fn = loss_fn_proto()
+            memory = None
+            if cfg.static_memory:
+                memory = MemoryContext()
+                model.bind_memory(memory)
+                loss_fn.bind_memory(memory)
             if model_state is not None:
                 model.load_state_dict(model_state)
             if opt_state is not None:
@@ -506,7 +518,10 @@ def train_sync_sgd(
                                 batch_loss = loss_fn.forward(logits, yb)
                                 grad = loss_fn.backward()
                                 if uses_sync_bn:
-                                    grad = grad * weight
+                                    if memory is None:
+                                        grad = grad * weight
+                                    else:
+                                        grad *= weight  # in the arena slot
                                 model.backward(grad)
                                 if len(local_idx) > 0:
                                     loss_sum += batch_loss * len(local_idx)

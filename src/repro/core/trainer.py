@@ -15,6 +15,7 @@ import numpy as np
 
 from ..nn.layers.base import Module
 from ..nn.losses import SoftmaxCrossEntropy
+from ..nn.memory import MemoryContext
 from ..obs import timed as _timed
 from ..obs.events import publish as _publish
 from .metrics import EpochRecord, RunningMean, top1_accuracy
@@ -77,6 +78,10 @@ class Trainer:
     shuffle_seed:
         Epoch shuffling is derived deterministically from this seed so that
         serial and simulated-cluster runs see identical batch streams.
+    static_memory:
+        Bind a :class:`repro.nn.MemoryContext` to the model and loss so
+        steady-state steps run allocation-free out of a persistent arena
+        (bitwise-identical results; ``False`` is the eager escape hatch).
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class Trainer:
         schedule: Schedule | float,
         loss: SoftmaxCrossEntropy | None = None,
         shuffle_seed: int = 0,
+        static_memory: bool = False,
     ):
         self.model = model
         self.optimizer = optimizer
@@ -93,6 +99,15 @@ class Trainer:
         self.loss = loss if loss is not None else SoftmaxCrossEntropy()
         self.shuffle_seed = int(shuffle_seed)
         self.iteration = 0
+        self.memory: MemoryContext | None = None
+        if static_memory:
+            self.memory = MemoryContext()
+            self.model.bind_memory(self.memory)
+            self.loss.bind_memory(self.memory)
+
+    def arena_stats(self) -> dict | None:
+        """Arena accounting snapshot, or ``None`` when running eager."""
+        return self.memory.arena.stats() if self.memory is not None else None
 
     # -- single step -----------------------------------------------------------
     def train_step(
@@ -124,7 +139,15 @@ class Trainer:
                 logits = self.model.forward(xb)
                 loss_val = self.loss.forward(logits, yb)
                 weight = len(xb) / n
-                self.model.backward(self.loss.backward() * weight)
+                if self.memory is None:
+                    self.model.backward(self.loss.backward() * weight)
+                else:
+                    # scale the loss gradient in its arena slot; x * 1.0 == x
+                    # bitwise, so the weight==1 fast case stays identical too
+                    grad = self.loss.backward()
+                    if weight != 1.0:
+                        grad *= weight
+                    self.model.backward(grad)
                 loss_sum += loss_val * len(xb)
                 correct += top1_accuracy(logits, yb) * len(xb)
             lr = self.schedule(self.iteration)

@@ -49,6 +49,12 @@ class BatchLoader:
         ``True`` restores the deprecated implicit epoch advance at the end
         of every ``__iter__``; the default (``None``) keeps that behaviour
         but warns once, and ``False`` opts into the explicit API.
+    reuse_buffers:
+        Gather each shard into a persistent per-loader batch buffer with
+        ``np.take(..., out=...)`` instead of allocating a fresh fancy-index
+        copy per batch (the steady-state zero-allocation input path).  The
+        yielded arrays are views of that buffer, so a batch must be fully
+        consumed before requesting the next one.
     """
 
     def __init__(
@@ -62,6 +68,7 @@ class BatchLoader:
         seed: int = 0,
         shuffle: bool = True,
         auto_advance: bool | None = None,
+        reuse_buffers: bool = False,
     ):
         if len(x) != len(y):
             raise ValueError("x and y length mismatch")
@@ -77,6 +84,9 @@ class BatchLoader:
         self.epoch = 0
         self._auto_advance = auto_advance
         self._order_cache: tuple[int, np.ndarray] | None = None
+        self.reuse_buffers = bool(reuse_buffers)
+        self._xbuf: np.ndarray | None = None
+        self._ybuf: np.ndarray | None = None
         if augment is None:
             augment = "none"
         if isinstance(augment, str):
@@ -145,9 +155,26 @@ class BatchLoader:
                 local_idx = shard_batch(global_idx, self.world, self.rank)
                 if len(local_idx) == 0:
                     continue
-                xb = self._augment(self.x[local_idx], aug_rng)
-                batch = xb, self.y[local_idx]
+                if self.reuse_buffers:
+                    xg, yg = self._gather(local_idx)
+                else:
+                    xg, yg = self.x[local_idx], self.y[local_idx]
+                xb = self._augment(xg, aug_rng)
+                batch = xb, yg
             yield batch
+
+    def _gather(self, local_idx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Copy the shard into the persistent batch buffer (values identical
+        to fancy indexing; short final batches reuse a prefix view)."""
+        m = len(local_idx)
+        if self._xbuf is None or len(self._xbuf) < m:
+            self._xbuf = np.empty((m, *self.x.shape[1:]), dtype=self.x.dtype)
+            self._ybuf = np.empty((m, *self.y.shape[1:]), dtype=self.y.dtype)
+        xv = self._xbuf[:m]
+        yv = self._ybuf[:m]
+        np.take(self.x, local_idx, axis=0, out=xv)
+        np.take(self.y, local_idx, axis=0, out=yv)
+        return xv, yv
 
     def __iter__(self) -> Iterator[tuple[np.ndarray, np.ndarray]]:
         """Iterate the current epoch's batches.

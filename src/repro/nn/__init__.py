@@ -38,6 +38,13 @@ from .layers import (
     Tanh,
 )
 from .losses import SoftmaxCrossEntropy, log_softmax, softmax
+from .memory import (
+    Arena,
+    MemoryContext,
+    MemoryPlan,
+    bucket_nbytes,
+    plan_training_step,
+)
 from .tensor import Parameter
 
 __all__ = [
@@ -74,5 +81,10 @@ __all__ = [
     "check_layer_gradients",
     "numeric_gradient",
     "relative_error",
+    "Arena",
+    "MemoryContext",
+    "MemoryPlan",
+    "bucket_nbytes",
+    "plan_training_step",
     "models",
 ]

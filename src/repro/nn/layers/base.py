@@ -31,17 +31,90 @@ Shape = tuple[int, ...]
 class Module:
     """Base class for all layers and containers."""
 
+    #: bound memory context (class attribute: unbound modules pay nothing).
+    #: When set, layers compute into persistent arena slots instead of
+    #: allocating; when ``None`` every code path is the original eager one.
+    _memory = None
+
+    #: True on layers whose buffered ``forward`` writes ``out`` with plain
+    #: ufunc ``out=`` calls and therefore accepts a *non-contiguous* target.
+    #: Only such layers may compute straight into a successor's padded-input
+    #: slot (see :meth:`input_slot`); layers that stage through
+    #: ``out.reshape(...)`` (convolutions, pools) would silently write a
+    #: reshape copy instead, so they keep the default ``False``.
+    _fusion_source = False
+
     #: human-readable type name used in summaries
     def __init__(self) -> None:
         self.training = True
         self.name = ""
 
     # -- interface -----------------------------------------------------------
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         raise NotImplementedError
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         raise NotImplementedError
+
+    # -- static memory ---------------------------------------------------------
+    def bind_memory(self, memory) -> "Module":
+        """Bind a :class:`repro.nn.memory.MemoryContext` to this subtree.
+
+        Every descendant computes into persistent arena slots from the next
+        forward on; results stay bitwise identical to the unbound paths
+        (asserted by ``tests/nn/test_memory_parity.py``).  Returns ``self``.
+        """
+        for m in self.modules():
+            m._memory = memory
+        return self
+
+    def unbind_memory(self) -> "Module":
+        """Escape hatch: revert the subtree to the allocating code paths."""
+        for m in self.modules():
+            vars(m).pop("_memory", None)
+        return self
+
+    def input_slot(self, x_shape, dtype) -> np.ndarray | None:
+        """Persistent buffer a producer may write this layer's input into.
+
+        Containers delegate to the layer that actually consumes the input;
+        layers holding a padded persistent input slot (``Conv2D`` with
+        ``padding > 0``) return its interior view so the producing layer
+        computes straight into it, eliding one interior copy per step.
+        ``None`` (the default) means no such buffer — the producer writes
+        its own output slot as usual.
+        """
+        return None
+
+    def _buf(self, tag: str, shape, dtype=np.float64) -> np.ndarray:
+        """Persistent slot when a memory context is bound, else a fresh array."""
+        mem = self._memory
+        if mem is not None:
+            # Per-module memo of resolved slots: steady-state shapes are
+            # fixed, so repeat requests skip the context's keyed lookup.
+            cache = self.__dict__.get("_slot_memo")
+            if cache is None or cache[0] is not mem:
+                cache = (mem, {})
+                self._slot_memo = cache
+            entry = cache[1].get(tag)
+            if entry is not None and entry[0] == shape and entry[1] == dtype:
+                return entry[2]
+            buf = mem.slot(self, tag, shape, dtype)
+            cache[1][tag] = (tuple(shape), dtype, buf)
+            return buf
+        return np.empty(shape, dtype=dtype)
+
+    def _scratch(self, shape, dtype=np.float64) -> np.ndarray:
+        """Call-scoped buffer; pair with :meth:`_drop` before returning."""
+        mem = self._memory
+        if mem is not None:
+            return mem.scratch(shape, dtype)
+        return np.empty(shape, dtype=dtype)
+
+    def _drop(self, buf: np.ndarray) -> None:
+        mem = self._memory
+        if mem is not None:
+            mem.release(buf)
 
     def parameters(self) -> list[Parameter]:
         """All trainable parameters in this subtree, in deterministic order."""
@@ -113,8 +186,11 @@ class Module:
         """
         inner = type(self).backward
 
-        def wrapped(grad_out: np.ndarray) -> np.ndarray:
-            grad_in = inner(self, grad_out)
+        def wrapped(grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+            if out is None:
+                grad_in = inner(self, grad_out)
+            else:
+                grad_in = inner(self, grad_out, out=out)
             hook(self)
             return grad_in
 
@@ -209,15 +285,67 @@ class Sequential(Module):
     def __getitem__(self, idx: int) -> Module:
         return self.layers[idx]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def input_slot(self, x_shape, dtype) -> np.ndarray | None:
+        return self.layers[0].input_slot(x_shape, dtype) if self.layers else None
+
+    def _layer_out_shapes(self, x_shape: tuple) -> list[tuple]:
+        """Per-layer batched output shapes, memoised on the input shape."""
+        cached = self.__dict__.get("_out_shape_cache")
+        if cached is not None and cached[0] == x_shape:
+            return cached[1]
+        shapes = []
+        shp = x_shape
         for layer in self.layers:
-            x = layer.forward(x)
+            shp = (shp[0], *layer.output_shape(tuple(shp[1:])))
+            shapes.append(shp)
+        self._out_shape_cache = (x_shape, shapes)
+        return shapes
+
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        layers = self.layers
+        if self._memory is None:
+            if out is None:
+                for layer in layers:
+                    x = layer.forward(x)
+                return x
+            if not layers:
+                np.copyto(out, x)
+                return out
+            for layer in layers[:-1]:
+                x = layer.forward(x)
+            return layers[-1].forward(x, out=out)
+        # Memory-bound: when a layer can write a non-contiguous target and
+        # its successor exposes a padded-input slot, compute straight into
+        # that slot's interior — the successor skips its interior copy.
+        if not layers:
+            if out is None:
+                return x
+            np.copyto(out, x)
+            return out
+        shapes = self._layer_out_shapes(x.shape)
+        last = len(layers) - 1
+        for i, layer in enumerate(layers):
+            if i == last:
+                return layer.forward(x, out=out) if out is not None else layer.forward(x)
+            tgt = (
+                layers[i + 1].input_slot(shapes[i], np.float64)
+                if layer._fusion_source
+                else None
+            )
+            x = layer.forward(x, out=tgt) if tgt is not None else layer.forward(x)
         return x
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
-        for layer in reversed(self.layers):
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if out is None:
+            for layer in reversed(self.layers):
+                grad_out = layer.backward(grad_out)
+            return grad_out
+        if not self.layers:
+            np.copyto(out, grad_out)
+            return out
+        for layer in reversed(self.layers[1:]):
             grad_out = layer.backward(grad_out)
-        return grad_out
+        return self.layers[0].backward(grad_out, out=out)
 
     def output_shape(self, input_shape: Shape) -> Shape:
         shape = tuple(input_shape)

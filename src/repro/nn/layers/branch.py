@@ -37,20 +37,37 @@ class ConcatBranches(Module):
     def flops_per_example(self, input_shape: Shape) -> int:
         return sum(b.flops_per_example(input_shape) for b in self.branches)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         outs = [b.forward(x) for b in self.branches]
         self._splits = [o.shape[1] for o in outs]
-        return np.concatenate(outs, axis=1)
+        if self._memory is None and out is None:
+            return np.concatenate(outs, axis=1)
+        n = outs[0].shape[0]
+        shape = (n, sum(self._splits), *outs[0].shape[2:])
+        y = out if out is not None else self._buf("y", shape, np.float64)
+        np.concatenate(outs, axis=1, out=y)
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._splits is None:
             raise RuntimeError("backward called before forward")
+        buffered = self._memory is not None or out is not None
         dx = None
         lo = 0
-        for branch, width in zip(self.branches, self._splits):
+        for i, (branch, width) in enumerate(zip(self.branches, self._splits)):
             g = grad_out[:, lo : lo + width]
-            contrib = branch.backward(np.ascontiguousarray(g))
-            dx = contrib if dx is None else dx + contrib
+            if buffered:
+                gbuf = self._buf(f"g{i}", g.shape, np.float64)
+                np.copyto(gbuf, g)
+                contrib = branch.backward(gbuf)
+                if dx is None:
+                    dx = out if out is not None else self._buf("dx", contrib.shape, np.float64)
+                    np.copyto(dx, contrib)
+                else:
+                    dx += contrib
+            else:
+                contrib = branch.backward(np.ascontiguousarray(g))
+                dx = contrib if dx is None else dx + contrib
             lo += width
         self._splits = None
         return dx

@@ -33,7 +33,7 @@ from ..initializers import Initializer, he_normal, zeros
 from ..tensor import Parameter, Workspace, cached_einsum
 from .base import Module, Shape
 
-__all__ = ["Conv2D", "im2col", "im2col_view", "col2im", "conv_output_hw"]
+__all__ = ["Conv2D", "im2col", "im2col_view", "col2im", "col2im_clipped", "conv_output_hw"]
 
 # Backward-GEMM strategy crossover (total MACs): below this, batched
 # ``np.matmul`` with folded batch axes wins; above it, einsum's tensordot
@@ -107,6 +107,43 @@ def im2col(
     return out, (oh, ow)
 
 
+def col2im_clipped(
+    cols: np.ndarray,
+    x_shape: tuple[int, int, int, int],
+    kh: int,
+    kw: int,
+    stride: int,
+    pad: int,
+    out: np.ndarray,
+) -> np.ndarray:
+    """Scatter-add columns straight into an *unpadded* image buffer.
+
+    Equivalent to ``col2im(...)`` followed by dropping the padding border,
+    but never materialises the padded canvas: each kernel offset's slice is
+    clipped to the image interior, so the border terms the padded version
+    would discard are simply never written.  Per pixel the surviving
+    contributions arrive in the same ``(i, j)`` offset order as the canvas
+    version, so the accumulated values are bitwise identical.
+    """
+    n, c, h, w = x_shape
+    oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
+    out[...] = 0.0
+    cols6 = cols.reshape(n, c, kh, kw, oh, ow)
+    for i in range(kh):
+        o_lo = -(-max(pad - i, 0) // stride)
+        o_hi = min((h - 1 - i + pad) // stride, oh - 1)
+        r0 = i + stride * o_lo - pad
+        rows = slice(r0, r0 + stride * (o_hi - o_lo) + 1, stride)
+        for j in range(kw):
+            q_lo = -(-max(pad - j, 0) // stride)
+            q_hi = min((w - 1 - j + pad) // stride, ow - 1)
+            c0 = j + stride * q_lo - pad
+            out[:, :, rows, c0 : c0 + stride * (q_hi - q_lo) + 1 : stride] += cols6[
+                :, :, i, j, o_lo : o_hi + 1, q_lo : q_hi + 1
+            ]
+    return out
+
+
 def col2im(
     cols: np.ndarray,
     x_shape: tuple[int, int, int, int],
@@ -114,6 +151,7 @@ def col2im(
     kw: int,
     stride: int,
     pad: int,
+    out: np.ndarray | None = None,
 ) -> np.ndarray:
     """Adjoint of :func:`im2col`: scatter-add columns back into an image.
 
@@ -124,11 +162,24 @@ def col2im(
     the scatter-add collapses to a single vectorised assignment into a
     strided view — bitwise identical to the general loop, since adding one
     term to zero is exact.
+
+    ``out`` supplies a reusable destination of the *padded* shape
+    ``(N, C, H+2p, W+2p)``; it is zeroed here, so its prior contents never
+    leak into the scatter-add.  When ``pad > 0`` the returned array is the
+    unpadded interior view of ``out``.
     """
     n, c, h, w = x_shape
     oh, ow = conv_output_hw(h, w, kh, kw, stride, pad)
     hp, wp = h + 2 * pad, w + 2 * pad
-    out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    if out is None:
+        out = np.zeros((n, c, hp, wp), dtype=cols.dtype)
+    else:
+        if out.shape != (n, c, hp, wp) or out.dtype != cols.dtype:
+            raise ValueError(
+                f"out has shape {out.shape}/{out.dtype}, "
+                f"expected {(n, c, hp, wp)}/{cols.dtype}"
+            )
+        out[...] = 0.0
     cols6 = cols.reshape(n, c, kh, kw, oh, ow)
     if stride >= kh and stride >= kw:
         # Non-overlapping fast branch: one strided scatter, no loop.
@@ -200,6 +251,8 @@ class Conv2D(Module):
         self.bias = Parameter(bias_init((out_channels,), rng), weight_decay=0.0) if bias else None
         self._cache: tuple | None = None
         self._workspace = Workspace()
+        self._xpad_primed: np.ndarray | None = None
+        self._fused_x: np.ndarray | None = None
 
     def output_shape(self, input_shape: Shape) -> Shape:
         c, h, w = input_shape
@@ -221,36 +274,95 @@ class Conv2D(Module):
         """1×1 unpadded kernels need no patch extraction at all."""
         return self.fast_paths and self.kernel_size == 1 and self.padding == 0
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def input_slot(self, x_shape, dtype):
+        """Interior view of the persistent padded-input slot.
+
+        A fusion-capable producer (``Module._fusion_source``) writes our
+        input directly into this view; ``forward`` then recognises the
+        handoff (``x is self._fused_x``) and skips the interior copy.  The
+        zero border is primed here so the producer's write completes the
+        padded image.
+        """
+        if (
+            self._memory is None
+            or len(x_shape) != 4
+            or self.padding == 0
+            or self._is_pointwise()
+            or np.dtype(dtype) != np.float64
+            or x_shape[1] != self.in_channels
+        ):
+            return None
+        n, c, h, w = x_shape
+        p = self.padding
+        xpad = self._buf("xpad", (n, c, h + 2 * p, w + 2 * p), np.float64)
+        if self._xpad_primed is not xpad:
+            xpad[...] = 0.0
+            self._xpad_primed = xpad
+        fused = self._fused_x
+        if fused is None or fused.base is not xpad:
+            fused = xpad[:, :, p:-p, p:-p]
+            self._fused_x = fused
+        return fused
+
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         n, c, h, w = x.shape
         k, s, p, g = self.kernel_size, self.stride, self.padding, self.groups
         cg = c // g
         og = self.out_channels // g
+        buffered = self._memory is not None or out is not None
+        oh, ow = conv_output_hw(h, w, k, k, s, p)
         if self._is_pointwise():
             # The "columns" of a 1×1 kernel are the input pixels themselves
             # (stride just subsamples them) — no im2col copy.
-            oh, ow = conv_output_hw(h, w, k, k, s, p)
-            xs = x if s == 1 else x[:, :, ::s, ::s]
-            cols_g = xs.reshape(n, g, cg, oh * ow)
+            if s == 1:
+                cols_g = x.reshape(n, g, cg, oh * ow)
+            elif buffered:
+                xs = self._buf("xs", (n, c, oh, ow), x.dtype)
+                xs[...] = x[:, :, ::s, ::s]
+                cols_g = xs.reshape(n, g, cg, oh * ow)
+            else:
+                cols_g = x[:, :, ::s, ::s].reshape(n, g, cg, oh * ow)
         else:
-            oh, ow = conv_output_hw(h, w, k, k, s, p)
-            out_buf = (
-                self._workspace.get("cols", (n, c * k * k, oh * ow), x.dtype)
-                if self.fast_paths
-                else None
-            )
-            cols, _ = im2col(x, k, k, s, p, out=out_buf)
+            if buffered:
+                cols = self._buf("cols", (n, c * k * k, oh * ow), x.dtype)
+                if p > 0:
+                    # Persistent pre-padded input slot: the zero border is
+                    # written once (the slot is exclusive to this layer, so
+                    # it survives across steps) and each step only copies
+                    # the interior — strictly less traffic than np.pad.
+                    # When a fused producer already wrote the interior
+                    # (``input_slot``), even that copy is skipped.
+                    xpad = self._buf("xpad", (n, c, h + 2 * p, w + 2 * p), x.dtype)
+                    if x is not self._fused_x:
+                        if self._xpad_primed is not xpad:
+                            xpad[...] = 0.0
+                            self._xpad_primed = xpad
+                        xpad[:, :, p:-p, p:-p] = x
+                    im2col(xpad, k, k, s, 0, out=cols)
+                else:
+                    im2col(x, k, k, s, 0, out=cols)
+            else:
+                out_buf = (
+                    self._workspace.get("cols", (n, c * k * k, oh * ow), x.dtype)
+                    if self.fast_paths
+                    else None
+                )
+                cols, _ = im2col(x, k, k, s, p, out=out_buf)
             cols_g = cols.reshape(n, g, cg * k * k, oh * ow)
         w2 = self.weight.data.reshape(g, og, cg * k * k)
         # (1, g, og, ckk) @ (n, g, ckk, L) -> (n, g, og, L): BLAS batched GEMM.
-        out = np.matmul(w2[None], cols_g)
-        out = out.reshape(n, self.out_channels, oh, ow)
+        if buffered:
+            y = out if out is not None else self._buf("y", (n, self.out_channels, oh, ow), x.dtype)
+            np.matmul(w2[None], cols_g, out=y.reshape(n, g, og, oh * ow))
+        else:
+            y = np.matmul(w2[None], cols_g)
+            y = y.reshape(n, self.out_channels, oh, ow)
         if self.bias is not None:
-            out += self.bias.data[None, :, None, None]
+            y += self.bias.data[None, :, None, None]
         self._cache = (x.shape, cols_g, (oh, ow))
-        return out
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x_shape, cols_g, (oh, ow) = self._cache
@@ -260,31 +372,100 @@ class Conv2D(Module):
         og = self.out_channels // g
         ckk = cols_g.shape[2]
         span = oh * ow
+        buffered = self._memory is not None or out is not None
         go = grad_out.reshape(n, g, og, span)
         w2 = self.weight.data.reshape(g, og, ckk)
+        # Gradient GEMM destinations: arena scratch/slot when planned, the
+        # layer workspace when eager (same reuse forward's im2col gets), and
+        # fresh arrays only on the parity-test escape hatch.
+        if buffered:
+            dw = self._scratch((g, og, ckk), np.float64)
+            dcols = self._buf("dcols", (n, g, ckk, span), np.float64)
+        elif self.fast_paths:
+            dw = self._workspace.get("dw", (g, og, ckk), np.float64)
+            dcols = self._workspace.get("dcols", (n, g, ckk, span), np.float64)
+        else:
+            dw = None
+            dcols = None
         if n * g * og * ckk * span <= _BATCHED_MATMUL_MAX_MACS:
             # Fold the batch into the GEMM columns: one (og × nL)·(nL × ckk)
             # product per group beats einsum's dispatch overhead here.
-            dw = np.matmul(
-                go.transpose(1, 2, 0, 3).reshape(g, og, n * span),
-                cols_g.transpose(1, 0, 3, 2).reshape(g, n * span, ckk),
-            )
-            dcols = np.matmul(w2.transpose(0, 2, 1)[None], go)
+            if buffered:
+                t1 = self._scratch((g, og, n, span), np.float64)
+                t1[...] = go.transpose(1, 2, 0, 3)
+                t2 = self._scratch((g, n, span, ckk), np.float64)
+                t2[...] = cols_g.transpose(1, 0, 3, 2)
+                np.matmul(
+                    t1.reshape(g, og, n * span), t2.reshape(g, n * span, ckk), out=dw
+                )
+                self._drop(t2)
+                self._drop(t1)
+            else:
+                dw = np.matmul(
+                    go.transpose(1, 2, 0, 3).reshape(g, og, n * span),
+                    cols_g.transpose(1, 0, 3, 2).reshape(g, n * span, ckk),
+                    out=dw,
+                )
+            dcols = np.matmul(w2.transpose(0, 2, 1)[None], go, out=dcols)
         else:
             # Large problems: einsum's contraction order wins; the path is
             # memoised per shape so only the first call pays for planning.
-            dw = cached_einsum("ngol,ngcl->goc", go, cols_g)
-            dcols = cached_einsum("goc,ngol->ngcl", w2, go)
+            dw = cached_einsum("ngol,ngcl->goc", go, cols_g, out=dw)
+            dcols = cached_einsum("goc,ngol->ngcl", w2, go, out=dcols)
         self.weight.grad += dw.reshape(self.weight.data.shape)
-        if self.bias is not None:
+        if buffered:
+            self._drop(dw)
+            db = None
+            if self.bias is not None:
+                db = self._scratch((self.out_channels,), np.float64)
+                np.sum(grad_out, axis=(0, 2, 3), out=db)
+                self.bias.grad += db
+                self._drop(db)
+        elif self.bias is not None:
             self.bias.grad += grad_out.sum(axis=(0, 2, 3))
         self._cache = None
         if self._is_pointwise():
             # Adjoint of the strided subsampling: no col2im needed.
             if s == 1:
-                return dcols.reshape(x_shape)
-            dx = np.zeros(x_shape, dtype=dcols.dtype)
+                dxv = dcols.reshape(x_shape)
+                if out is not None:
+                    np.copyto(out, dxv)
+                    return out
+                return dxv
+            if buffered:
+                dx = out if out is not None else self._buf("dx", x_shape, np.float64)
+                dx[...] = 0.0
+            else:
+                dx = np.zeros(x_shape, dtype=dcols.dtype)
             dx[:, :, ::s, ::s] = dcols.reshape(n, self.in_channels, oh, ow)
             return dx
         dcols = dcols.reshape(n, self.in_channels * k * k, span)
+        if buffered:
+            if p > 0 and s < k:
+                # Overlapping windows: scatter-add the clipped slices
+                # straight into the contiguous dx slot — no padded canvas,
+                # no interior-copy afterwards (values bitwise unchanged).
+                dx = out if out is not None else self._buf("dx", x_shape, np.float64)
+                return col2im_clipped(dcols, x_shape, k, k, s, p, out=dx)
+            pad_buf = self._buf(
+                "dx_pad", (n, self.in_channels, x_shape[2] + 2 * p, x_shape[3] + 2 * p),
+                np.float64,
+            )
+            dxv = col2im(dcols, x_shape, k, k, s, p, out=pad_buf)
+            if p > 0:
+                # Launder the padded interior view into a contiguous slot so
+                # downstream reshapes stay allocation-free (values unchanged).
+                dx = out if out is not None else self._buf("dx", x_shape, np.float64)
+                np.copyto(dx, dxv)
+                return dx
+            if out is not None:
+                np.copyto(out, dxv)
+                return out
+            return dxv
+        if self.fast_paths:
+            pad_buf = self._workspace.get(
+                "dx_pad", (n, self.in_channels, x_shape[2] + 2 * p, x_shape[3] + 2 * p),
+                np.float64,
+            )
+            return col2im(dcols, x_shape, k, k, s, p, out=pad_buf)
         return col2im(dcols, x_shape, k, k, s, p)

@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..tensor import Workspace
 from .base import Module, Shape
 
 __all__ = ["Dropout"]
@@ -17,7 +18,14 @@ class Dropout(Module):
     seeded identically (sequential consistency requires every replica to draw
     the same masks for the same global batch).  Call :meth:`reseed` to align
     replicas.
+
+    The mask is drawn into a persistent per-layer buffer
+    (``Generator.random(out=...)`` consumes the identical stream as
+    ``rng.random(shape)``), so steady-state steps never reallocate it; with a
+    bound memory context the output lives in an arena slot too.
     """
+
+    _fusion_source = True  # buffered forward writes ``out`` via plain ufuncs
 
     def __init__(self, p: float = 0.5, rng: np.random.Generator | None = None):
         super().__init__()
@@ -26,6 +34,7 @@ class Dropout(Module):
         self.p = float(p)
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self._mask: np.ndarray | None = None
+        self._ws = Workspace()
 
     def reseed(self, seed: int) -> None:
         self.rng = np.random.default_rng(seed)
@@ -36,17 +45,41 @@ class Dropout(Module):
     def flops_per_example(self, input_shape: Shape) -> int:
         return int(np.prod(input_shape))
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if not self.training or self.p == 0.0:
             self._mask = None
+            if out is not None:
+                np.copyto(out, x)
+                return out
             return x
         keep = 1.0 - self.p
-        self._mask = (self.rng.random(x.shape) < keep) / keep
-        return x * self._mask
+        buffered = self._memory is not None or out is not None
+        if buffered:
+            mask = self._buf("mask", x.shape, np.float64)
+            sel = self._buf("sel", x.shape, np.bool_)
+        else:
+            mask = self._ws.get("mask", x.shape, np.float64)
+            sel = self._ws.get("sel", x.shape, np.bool_)
+        self.rng.random(out=mask)
+        np.less(mask, keep, out=sel)
+        np.divide(sel, keep, out=mask)
+        self._mask = mask
+        if not buffered:
+            return x * mask
+        y = out if out is not None else self._buf("y", x.shape, np.float64)
+        np.multiply(x, mask, out=y)
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._mask is None:
+            if out is not None:
+                np.copyto(out, grad_out)
+                return out
             return grad_out
-        dx = grad_out * self._mask
+        mask = self._mask
         self._mask = None
+        if self._memory is None and out is None:
+            return grad_out * mask
+        dx = out if out is not None else self._buf("dx", grad_out.shape, grad_out.dtype)
+        np.multiply(grad_out, mask, out=dx)
         return dx

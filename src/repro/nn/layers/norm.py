@@ -29,6 +29,8 @@ class BatchNorm(Module):
     scaling for them (dispatch is by parameter name, see ``repro.core.lars``).
     """
 
+    _fusion_source = True  # buffered forward writes ``out`` via plain ufuncs
+
     def __init__(self, num_features: int, eps: float = 1e-5, momentum: float = 0.9):
         super().__init__()
         self.num_features = num_features
@@ -58,7 +60,31 @@ class BatchNorm(Module):
     def _expand(self, v: np.ndarray, ndim: int) -> np.ndarray:
         return v if ndim == 2 else v[:, None, None]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def _normalize(
+        self,
+        x: np.ndarray,
+        mean: np.ndarray,
+        inv_std: np.ndarray,
+        out: np.ndarray | None = None,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Apply ``gamma * (x - mean) * inv_std + beta``; returns ``(y, xhat)``."""
+        nd = x.ndim
+        mean_e = self._expand(mean, nd)
+        inv_e = self._expand(inv_std, nd)
+        g_e = self._expand(self.gamma.data, nd)
+        b_e = self._expand(self.beta.data, nd)
+        if self._memory is None and out is None:
+            xhat = (x - mean_e) * inv_e
+            return g_e * xhat + b_e, xhat
+        xhat = self._buf("xhat", x.shape, np.float64)
+        np.subtract(x, mean_e, out=xhat)
+        xhat *= inv_e
+        y = out if out is not None else self._buf("y", x.shape, np.float64)
+        np.multiply(g_e, xhat, out=y)
+        y += b_e
+        return y, xhat
+
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         axes = self._reduce_axes(x.ndim)
         if self.training:
             mean = x.mean(axis=axes)
@@ -69,28 +95,52 @@ class BatchNorm(Module):
         else:
             mean, var = self.running_mean, self.running_var
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        xhat = (x - self._expand(mean, x.ndim)) * self._expand(inv_std, x.ndim)
-        out = self._expand(self.gamma.data, x.ndim) * xhat + self._expand(self.beta.data, x.ndim)
+        y, xhat = self._normalize(x, mean, inv_std, out=out)
         if self.training:
             self._cache = (xhat, inv_std)
-        return out
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward (training mode)")
         xhat, inv_std = self._cache
         axes = self._reduce_axes(grad_out.ndim)
+        nd = grad_out.ndim
         m = float(np.prod([grad_out.shape[a] for a in axes]))
-        self.gamma.grad += (grad_out * xhat).sum(axis=axes)
+        if self._memory is None and out is None:
+            self.gamma.grad += (grad_out * xhat).sum(axis=axes)
+            self.beta.grad += grad_out.sum(axis=axes)
+            g = self._expand(self.gamma.data, nd)
+            dxhat = grad_out * g
+            # Standard BN backward: dx = (1/m) * inv_std * (m*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
+            sum_dxhat = self._expand(dxhat.sum(axis=axes), nd)
+            sum_dxhat_xhat = self._expand((dxhat * xhat).sum(axis=axes), nd)
+            dx = (self._expand(inv_std, nd) / m) * (
+                m * dxhat - sum_dxhat - xhat * sum_dxhat_xhat
+            )
+            self._cache = None
+            return dx
+        # Same expression tree evaluated into reusable buffers; every binary op
+        # keeps the eager operand order (or swaps a commutative multiply, which
+        # is bitwise-neutral), so the result is identical.
+        t = self._scratch(grad_out.shape, np.float64)
+        np.multiply(grad_out, xhat, out=t)
+        self.gamma.grad += t.sum(axis=axes)
         self.beta.grad += grad_out.sum(axis=axes)
-        g = self._expand(self.gamma.data, grad_out.ndim)
-        dxhat = grad_out * g
-        # Standard BN backward: dx = (1/m) * inv_std * (m*dxhat - sum(dxhat) - xhat*sum(dxhat*xhat))
-        sum_dxhat = self._expand(dxhat.sum(axis=axes), grad_out.ndim)
-        sum_dxhat_xhat = self._expand((dxhat * xhat).sum(axis=axes), grad_out.ndim)
-        dx = (self._expand(inv_std, grad_out.ndim) / m) * (
-            m * dxhat - sum_dxhat - xhat * sum_dxhat_xhat
-        )
+        g = self._expand(self.gamma.data, nd)
+        dxh = self._scratch(grad_out.shape, np.float64)
+        np.multiply(grad_out, g, out=dxh)
+        sum_dxhat = self._expand(dxh.sum(axis=axes), nd)
+        np.multiply(dxh, xhat, out=t)
+        sum_dxhat_xhat = self._expand(t.sum(axis=axes), nd)
+        dx = out if out is not None else self._buf("dx", grad_out.shape, np.float64)
+        np.multiply(dxh, m, out=dx)
+        dx -= sum_dxhat
+        np.multiply(xhat, sum_dxhat_xhat, out=t)
+        dx -= t
+        dx *= self._expand(inv_std, nd) / m
+        self._drop(dxh)
+        self._drop(t)
         self._cache = None
         return dx
 
@@ -130,9 +180,9 @@ class SyncBatchNorm(BatchNorm):
             return vec
         return self.comm.allreduce(vec)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if not self.training:
-            return super().forward(x)
+            return super().forward(x, out=out)
         axes = self._reduce_axes(x.ndim)
         local_count = float(np.prod([x.shape[a] for a in axes])) if x.size else 0.0
         local_sum = x.sum(axis=axes) if x.size else np.zeros(self.num_features)
@@ -148,42 +198,67 @@ class SyncBatchNorm(BatchNorm):
         self.running_mean = m * self.running_mean + (1 - m) * mean
         self.running_var = m * self.running_var + (1 - m) * var
         inv_std = 1.0 / np.sqrt(var + self.eps)
-        xhat = (x - self._expand(mean, x.ndim)) * self._expand(inv_std, x.ndim)
-        out = self._expand(self.gamma.data, x.ndim) * xhat + self._expand(
-            self.beta.data, x.ndim
-        )
+        y, xhat = self._normalize(x, mean, inv_std, out=out)
         self._cache = (xhat, inv_std, count)
-        return out
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward (training mode)")
         if len(self._cache) == 2:  # eval-mode cache from the parent class
-            return super().backward(grad_out)
+            return super().backward(grad_out, out=out)
         xhat, inv_std, count = self._cache
         axes = self._reduce_axes(grad_out.ndim)
-        g = self._expand(self.gamma.data, grad_out.ndim)
-        dxhat = grad_out * g
-        zeros = np.zeros(self.num_features)
-        # gamma/beta gradients stay LOCAL — the cluster's ordinary gradient
-        # allreduce sums them across ranks like every other parameter, which
-        # is exactly the global sum the serial run computes
-        self.gamma.grad += (grad_out * xhat).sum(axis=axes) if grad_out.size else zeros
-        self.beta.grad += grad_out.sum(axis=axes) if grad_out.size else zeros
-        # ...but dx needs the *global* reduction terms of the BN backward
-        local = np.concatenate(
-            [
-                dxhat.sum(axis=axes) if dxhat.size else zeros,
-                (dxhat * xhat).sum(axis=axes) if dxhat.size else zeros,
-            ]
-        )
+        nd = grad_out.ndim
+        if (self._memory is None and out is None) or grad_out.size == 0:
+            g = self._expand(self.gamma.data, nd)
+            dxhat = grad_out * g
+            zeros = np.zeros(self.num_features)
+            # gamma/beta gradients stay LOCAL — the cluster's ordinary gradient
+            # allreduce sums them across ranks like every other parameter, which
+            # is exactly the global sum the serial run computes
+            self.gamma.grad += (grad_out * xhat).sum(axis=axes) if grad_out.size else zeros
+            self.beta.grad += grad_out.sum(axis=axes) if grad_out.size else zeros
+            # ...but dx needs the *global* reduction terms of the BN backward
+            local = np.concatenate(
+                [
+                    dxhat.sum(axis=axes) if dxhat.size else zeros,
+                    (dxhat * xhat).sum(axis=axes) if dxhat.size else zeros,
+                ]
+            )
+            total = self._allreduce(local)
+            n = self.num_features
+            sum_dxhat = self._expand(total[:n], nd)
+            sum_dxhat_xhat = self._expand(total[n:], nd)
+            dx = (self._expand(inv_std, nd) / count) * (
+                count * dxhat - sum_dxhat - xhat * sum_dxhat_xhat
+            )
+            self._cache = None
+            if out is not None:  # empty shard with a bound slot: honour out=
+                np.copyto(out, dx)
+                return out
+            return dx
+        t = self._scratch(grad_out.shape, np.float64)
+        np.multiply(grad_out, xhat, out=t)
+        self.gamma.grad += t.sum(axis=axes)
+        self.beta.grad += grad_out.sum(axis=axes)
+        g = self._expand(self.gamma.data, nd)
+        dxh = self._scratch(grad_out.shape, np.float64)
+        np.multiply(grad_out, g, out=dxh)
+        np.multiply(dxh, xhat, out=t)
+        local = np.concatenate([dxh.sum(axis=axes), t.sum(axis=axes)])
         total = self._allreduce(local)
         n = self.num_features
-        sum_dxhat = self._expand(total[:n], grad_out.ndim)
-        sum_dxhat_xhat = self._expand(total[n:], grad_out.ndim)
-        dx = (self._expand(inv_std, grad_out.ndim) / count) * (
-            count * dxhat - sum_dxhat - xhat * sum_dxhat_xhat
-        )
+        sum_dxhat = self._expand(total[:n], nd)
+        sum_dxhat_xhat = self._expand(total[n:], nd)
+        dx = out if out is not None else self._buf("dx", grad_out.shape, np.float64)
+        np.multiply(dxh, count, out=dx)
+        dx -= sum_dxhat
+        np.multiply(xhat, sum_dxhat_xhat, out=t)
+        dx -= t
+        dx *= self._expand(inv_std, nd) / count
+        self._drop(dxh)
+        self._drop(t)
         self._cache = None
         return dx
 
@@ -196,6 +271,8 @@ class LocalResponseNorm(Module):
     spans ``n`` adjacent channels centred on ``c`` (Krizhevsky et al. 2012).
     Defaults are Caffe's AlexNet values.
     """
+
+    _fusion_source = True  # buffered forward writes ``out`` via plain ufuncs
 
     def __init__(self, size: int = 5, alpha: float = 1e-4, beta: float = 0.75, k: float = 1.0):
         super().__init__()
@@ -212,6 +289,17 @@ class LocalResponseNorm(Module):
         # square + windowed sum + pow + divide: ~ (size + 3) per element
         return (self.size + 3) * int(np.prod(input_shape))
 
+    def _bounds(self, c: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached window bounds into the zero-padded channel prefix sums."""
+        cached = self.__dict__.get("_hi_lo")
+        if cached is None or cached[0] != c:
+            half = self.size // 2
+            hi = np.minimum(np.arange(c) + half + 1, c)
+            lo = np.maximum(np.arange(c) - half, 0)
+            self._hi_lo = (c, hi, lo)
+            cached = self._hi_lo
+        return cached[1], cached[2]
+
     def _window_sum(self, sq: np.ndarray) -> np.ndarray:
         """Sliding-window sum of ``sq`` over the channel axis (axis=1)."""
         n, c = sq.shape[0], sq.shape[1]
@@ -224,15 +312,49 @@ class LocalResponseNorm(Module):
         lo = np.maximum(np.arange(c) - half, 0)
         return csum[:, hi] - csum[:, lo]
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
-        sq = x * x
-        ssum = self._window_sum(sq)
-        denom = self.k + (self.alpha / self.size) * ssum
-        out = x * denom ** (-self.beta)
-        self._cache = (x, denom)
+    def _window_sum_into(self, sq: np.ndarray, out: np.ndarray) -> np.ndarray:
+        """Buffered :meth:`_window_sum`: same prefix-sum/gather/subtract ops."""
+        n, c = sq.shape[0], sq.shape[1]
+        csum = self._scratch((n, c + 1, *sq.shape[2:]), np.float64)
+        csum[:, :1] = 0.0
+        np.cumsum(sq, axis=1, out=csum[:, 1:])
+        hi, lo = self._bounds(c)
+        th = self._scratch(sq.shape, np.float64)
+        np.take(csum, hi, axis=1, out=th)
+        tl = self._scratch(sq.shape, np.float64)
+        np.take(csum, lo, axis=1, out=tl)
+        np.subtract(th, tl, out=out)
+        self._drop(tl)
+        self._drop(th)
+        self._drop(csum)
         return out
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
+        if self._memory is None and out is None:
+            sq = x * x
+            ssum = self._window_sum(sq)
+            denom = self.k + (self.alpha / self.size) * ssum
+            out = x * denom ** (-self.beta)
+            self._cache = (x, denom)
+            return out
+        sq = self._scratch(x.shape, np.float64)
+        np.multiply(x, x, out=sq)
+        ssum = self._scratch(x.shape, np.float64)
+        self._window_sum_into(sq, ssum)
+        self._drop(sq)
+        denom = self._buf("denom", x.shape, np.float64)
+        np.multiply(ssum, self.alpha / self.size, out=denom)
+        denom += self.k
+        self._drop(ssum)
+        t = self._scratch(x.shape, np.float64)
+        np.power(denom, -self.beta, out=t)
+        y = out if out is not None else self._buf("y", x.shape, np.float64)
+        np.multiply(x, t, out=y)
+        self._drop(t)
+        self._cache = (x, denom)
+        return y
+
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         x, denom = self._cache
@@ -241,9 +363,31 @@ class LocalResponseNorm(Module):
         #        - 2 beta (alpha/n) x_c * sum_{j: c in win(j)} g_j x_j d_j^{-beta-1}
         # and "c in window(j)" is symmetric to "j in window(c)" for a centred
         # window, so the inner sum is again a sliding-window sum.
-        dpow = denom ** (-self.beta)
-        t = grad_out * x * dpow / denom  # g_j x_j d_j^{-beta-1}
-        tsum = self._window_sum(t)
-        dx = grad_out * dpow - 2.0 * self.beta * (self.alpha / self.size) * x * tsum
+        if self._memory is None and out is None:
+            dpow = denom ** (-self.beta)
+            t = grad_out * x * dpow / denom  # g_j x_j d_j^{-beta-1}
+            tsum = self._window_sum(t)
+            dx = grad_out * dpow - 2.0 * self.beta * (self.alpha / self.size) * x * tsum
+            self._cache = None
+            return dx
+        dpow = self._scratch(grad_out.shape, np.float64)
+        np.power(denom, -self.beta, out=dpow)
+        t = self._scratch(grad_out.shape, np.float64)
+        np.multiply(grad_out, x, out=t)
+        t *= dpow
+        t /= denom
+        tsum = self._scratch(grad_out.shape, np.float64)
+        self._window_sum_into(t, tsum)
+        self._drop(t)
+        dx = out if out is not None else self._buf("dx", grad_out.shape, np.float64)
+        np.multiply(grad_out, dpow, out=dx)
+        self._drop(dpow)
+        t2 = self._scratch(grad_out.shape, np.float64)
+        # eager folds left: ((scalar * x) * tsum), so build the same tree
+        np.multiply(x, 2.0 * self.beta * (self.alpha / self.size), out=t2)
+        t2 *= tsum
+        dx -= t2
+        self._drop(tsum)
+        self._drop(t2)
         self._cache = None
         return dx

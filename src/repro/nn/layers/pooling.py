@@ -5,7 +5,7 @@ from __future__ import annotations
 import numpy as np
 
 from .base import Module, Shape
-from .conv import conv_output_hw, im2col
+from .conv import col2im_clipped, conv_output_hw, im2col
 
 __all__ = ["MaxPool2D", "AvgPool2D", "GlobalAvgPool2D"]
 
@@ -19,6 +19,7 @@ class MaxPool2D(Module):
         self.stride = stride if stride is not None else kernel_size
         self.padding = padding
         self._cache: tuple | None = None
+        self._xpad_primed: np.ndarray | None = None
 
     def output_shape(self, input_shape: Shape) -> Shape:
         c, h, w = input_shape
@@ -29,38 +30,92 @@ class MaxPool2D(Module):
         c, oh, ow = self.output_shape(input_shape)
         return c * oh * ow * (self.kernel_size * self.kernel_size - 1)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         n, c, h, w = x.shape
         k, s, p = self.kernel_size, self.stride, self.padding
+        if self._memory is None and out is None:
+            if p > 0:
+                # pad with -inf so padded positions never win the max
+                x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
+            hp, wp = x.shape[2], x.shape[3]
+            # Reuse im2col per channel: treat channels as batch for the unfold.
+            cols, (oh, ow) = im2col(x.reshape(n * c, 1, hp, wp), k, k, s, 0)
+            cols = cols.reshape(n, c, k * k, oh * ow)
+            argmax = cols.argmax(axis=2)
+            out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+            self._cache = ((n, c, h, w), argmax, (oh, ow))
+            return out.reshape(n, c, oh, ow)
+        hp, wp = h + 2 * p, w + 2 * p
         if p > 0:
-            # pad with -inf so padded positions never win the max
-            x = np.pad(x, ((0, 0), (0, 0), (p, p), (p, p)), constant_values=-np.inf)
-        hp, wp = x.shape[2], x.shape[3]
-        # Reuse im2col per channel: treat channels as batch for the unfold.
-        cols, (oh, ow) = im2col(x.reshape(n * c, 1, hp, wp), k, k, s, 0)
-        cols = cols.reshape(n, c, k * k, oh * ow)
-        argmax = cols.argmax(axis=2)
-        out = np.take_along_axis(cols, argmax[:, :, None, :], axis=2)[:, :, 0, :]
+            xp = self._buf("xpad", (n, c, hp, wp), x.dtype)
+            if self._xpad_primed is not xp:
+                # -inf border written once; the slot is exclusive to this
+                # layer, so it survives untouched between steps
+                xp[...] = -np.inf
+                self._xpad_primed = xp
+            xp[:, :, p:-p, p:-p] = x
+            xw = xp
+        else:
+            xw = x
+        oh, ow = conv_output_hw(hp, wp, k, k, s, 0)
+        cols = self._buf("cols", (n * c, k * k, oh * ow), x.dtype)
+        im2col(xw.reshape(n * c, 1, hp, wp), k, k, s, 0, out=cols)
+        cols4 = cols.reshape(n, c, k * k, oh * ow)
+        argmax = self._buf("argmax", (n, c, oh * ow), np.intp)
+        np.argmax(cols4, axis=2, out=argmax)
+        y = out if out is not None else self._buf("y", (n, c, oh, ow), x.dtype)
+        # amax == the value take_along_axis(argmax) extracts, bit for bit
+        np.amax(cols4, axis=2, out=y.reshape(n, c, oh * ow))
         self._cache = ((n, c, h, w), argmax, (oh, ow))
-        return out.reshape(n, c, oh, ow)
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._cache is None:
             raise RuntimeError("backward called before forward")
         (n, c, h, w), argmax, (oh, ow) = self._cache
         k, s, p = self.kernel_size, self.stride, self.padding
-        dcols = np.zeros((n, c, k * k, oh * ow))
-        go = grad_out.reshape(n, c, 1, oh * ow)
-        np.put_along_axis(dcols, argmax[:, :, None, :], go, axis=2)
         from .conv import col2im
 
         hp, wp = h + 2 * p, w + 2 * p
-        dx = col2im(dcols.reshape(n * c, k * k, oh * ow), (n * c, 1, hp, wp), k, k, s, 0)
-        dx = dx.reshape(n, c, hp, wp)
-        if p > 0:
-            dx = dx[:, :, p:-p, p:-p]
+        if self._memory is None and out is None:
+            dcols = np.zeros((n, c, k * k, oh * ow))
+            go = grad_out.reshape(n, c, 1, oh * ow)
+            np.put_along_axis(dcols, argmax[:, :, None, :], go, axis=2)
+            dx = col2im(dcols.reshape(n * c, k * k, oh * ow), (n * c, 1, hp, wp), k, k, s, 0)
+            dx = dx.reshape(n, c, hp, wp)
+            if p > 0:
+                dx = dx[:, :, p:-p, p:-p]
+            self._cache = None
+            return dx
+        dcols = self._scratch((n, c, k * k, oh * ow), np.float64)
+        dcols[...] = 0.0
+        go = grad_out.reshape(n, c, 1, oh * ow)
+        np.put_along_axis(dcols, argmax[:, :, None, :], go, axis=2)
+        if p > 0 and s < k:
+            dx = out if out is not None else self._buf("dx", (n, c, h, w), np.float64)
+            col2im_clipped(
+                dcols.reshape(n * c, k * k, oh * ow), (n * c, 1, h, w), k, k, s, p,
+                out=dx.reshape(n * c, 1, h, w),
+            )
+            self._drop(dcols)
+            self._cache = None
+            return dx
+        pad_buf = self._buf("dx_pad", (n * c, 1, hp, wp), np.float64)
+        dxv = col2im(
+            dcols.reshape(n * c, k * k, oh * ow), (n * c, 1, hp, wp), k, k, s, 0,
+            out=pad_buf,
+        )
+        self._drop(dcols)
+        dxv = dxv.reshape(n, c, hp, wp)
         self._cache = None
-        return dx
+        if p > 0:
+            dx = out if out is not None else self._buf("dx", (n, c, h, w), np.float64)
+            np.copyto(dx, dxv[:, :, p:-p, p:-p])
+            return dx
+        if out is not None:
+            np.copyto(out, dxv)
+            return out
+        return dxv
 
 
 class AvgPool2D(Module):
@@ -72,6 +127,7 @@ class AvgPool2D(Module):
         self.stride = stride if stride is not None else kernel_size
         self.padding = padding
         self._x_shape: tuple | None = None
+        self._xpad_primed: np.ndarray | None = None
 
     def output_shape(self, input_shape: Shape) -> Shape:
         c, h, w = input_shape
@@ -82,28 +138,74 @@ class AvgPool2D(Module):
         c, oh, ow = self.output_shape(input_shape)
         return c * oh * ow * self.kernel_size * self.kernel_size
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         n, c, h, w = x.shape
         k, s, p = self.kernel_size, self.stride, self.padding
-        cols, (oh, ow) = im2col(x.reshape(n * c, 1, h, w), k, k, s, p)
-        out = cols.reshape(n, c, k * k, oh * ow).mean(axis=2)
+        if self._memory is None and out is None:
+            cols, (oh, ow) = im2col(x.reshape(n * c, 1, h, w), k, k, s, p)
+            out = cols.reshape(n, c, k * k, oh * ow).mean(axis=2)
+            self._x_shape = x.shape
+            self._ohw = (oh, ow)
+            return out.reshape(n, c, oh, ow)
+        hp, wp = h + 2 * p, w + 2 * p
+        if p > 0:
+            xp = self._buf("xpad", (n, c, hp, wp), x.dtype)
+            if self._xpad_primed is not xp:
+                xp[...] = 0.0
+                self._xpad_primed = xp
+            xp[:, :, p:-p, p:-p] = x
+            xw = xp
+        else:
+            xw = x
+        oh, ow = conv_output_hw(hp, wp, k, k, s, 0)
+        cols = self._buf("cols", (n * c, k * k, oh * ow), x.dtype)
+        im2col(xw.reshape(n * c, 1, hp, wp), k, k, s, 0, out=cols)
+        y = out if out is not None else self._buf("y", (n, c, oh, ow), x.dtype)
+        cols.reshape(n, c, k * k, oh * ow).mean(axis=2, out=y.reshape(n, c, oh * ow))
         self._x_shape = x.shape
         self._ohw = (oh, ow)
-        return out.reshape(n, c, oh, ow)
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._x_shape is None:
             raise RuntimeError("backward called before forward")
         n, c, h, w = self._x_shape
         oh, ow = self._ohw
         k, s, p = self.kernel_size, self.stride, self.padding
-        go = grad_out.reshape(n * c, 1, oh * ow) / (k * k)
-        dcols = np.broadcast_to(go, (n * c, k * k, oh * ow))
         from .conv import col2im
 
-        dx = col2im(np.ascontiguousarray(dcols), (n * c, 1, h, w), k, k, s, p)
+        if self._memory is None and out is None:
+            go = grad_out.reshape(n * c, 1, oh * ow) / (k * k)
+            dcols = np.broadcast_to(go, (n * c, k * k, oh * ow))
+            dx = col2im(np.ascontiguousarray(dcols), (n * c, 1, h, w), k, k, s, p)
+            self._x_shape = None
+            return dx.reshape(n, c, h, w)
+        go = self._scratch((n * c, 1, oh * ow), np.float64)
+        np.divide(grad_out.reshape(n * c, 1, oh * ow), k * k, out=go)
+        dcols = self._scratch((n * c, k * k, oh * ow), np.float64)
+        dcols[...] = go
+        self._drop(go)
+        if p > 0 and s < k:
+            dx = out if out is not None else self._buf("dx", (n, c, h, w), np.float64)
+            col2im_clipped(
+                dcols, (n * c, 1, h, w), k, k, s, p, out=dx.reshape(n * c, 1, h, w)
+            )
+            self._drop(dcols)
+            self._x_shape = None
+            return dx
+        hp, wp = h + 2 * p, w + 2 * p
+        pad_buf = self._buf("dx_pad", (n * c, 1, hp, wp), np.float64)
+        dxv = col2im(dcols, (n * c, 1, h, w), k, k, s, p, out=pad_buf)
+        self._drop(dcols)
         self._x_shape = None
-        return dx.reshape(n, c, h, w)
+        if p > 0:
+            dx = out if out is not None else self._buf("dx", (n, c, h, w), np.float64)
+            np.copyto(dx.reshape(n * c, 1, h, w), dxv)
+            return dx
+        if out is not None:
+            np.copyto(out, dxv.reshape(n, c, h, w))
+            return out
+        return dxv.reshape(n, c, h, w)
 
 
 class GlobalAvgPool2D(Module):
@@ -120,14 +222,25 @@ class GlobalAvgPool2D(Module):
     def flops_per_example(self, input_shape: Shape) -> int:
         return int(np.prod(input_shape))
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         self._x_shape = x.shape
-        return x.mean(axis=(2, 3))
+        if self._memory is None and out is None:
+            return x.mean(axis=(2, 3))
+        n, c = x.shape[0], x.shape[1]
+        y = out if out is not None else self._buf("y", (n, c), x.dtype)
+        x.mean(axis=(2, 3), out=y)
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._x_shape is None:
             raise RuntimeError("backward called before forward")
         n, c, h, w = self._x_shape
-        dx = np.broadcast_to(grad_out[:, :, None, None], (n, c, h, w)) / (h * w)
+        if self._memory is None and out is None:
+            dx = np.broadcast_to(grad_out[:, :, None, None], (n, c, h, w)) / (h * w)
+            self._x_shape = None
+            return np.ascontiguousarray(dx)
+        dx = out if out is not None else self._buf("dx", (n, c, h, w), grad_out.dtype)
+        dx[...] = grad_out[:, :, None, None]
+        dx /= h * w
         self._x_shape = None
-        return np.ascontiguousarray(dx)
+        return dx

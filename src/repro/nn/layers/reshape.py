@@ -19,13 +19,20 @@ class Flatten(Module):
     def output_shape(self, input_shape: Shape) -> Shape:
         return (int(np.prod(input_shape)),)
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         self._x_shape = x.shape
-        return x.reshape(x.shape[0], -1)
+        y = x.reshape(x.shape[0], -1)
+        if out is not None:
+            np.copyto(out, y)
+            return out
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._x_shape is None:
             raise RuntimeError("backward called before forward")
         dx = grad_out.reshape(self._x_shape)
         self._x_shape = None
+        if out is not None:
+            np.copyto(out, dx)
+            return out
         return dx

@@ -22,11 +22,19 @@ class Residual(Module):
     shape-preserving (checked at ``output_shape`` time).
     """
 
+    _fusion_source = True  # buffered forward writes ``out`` via one ufunc
+
     def __init__(self, branch: Module, shortcut: Module | None = None):
         super().__init__()
         self.branch = branch
         self.shortcut = shortcut
         self._relu_mask: np.ndarray | None = None
+
+    def input_slot(self, x_shape, dtype):
+        # Our input is consumed first by the branch's leading layer (the
+        # shortcut and the elementwise add only ever *read* it, so sharing
+        # that layer's padded-input slot is safe).
+        return self.branch.input_slot(x_shape, dtype)
 
     def output_shape(self, input_shape: Shape) -> Shape:
         out = self.branch.output_shape(input_shape)
@@ -49,21 +57,48 @@ class Residual(Module):
         total += 2 * int(np.prod(self.output_shape(input_shape)))
         return total
 
-    def forward(self, x: np.ndarray) -> np.ndarray:
+    def forward(self, x: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         main = self.branch.forward(x)
         short = x if self.shortcut is None else self.shortcut.forward(x)
-        pre = main + short
-        self._relu_mask = pre > 0
-        return np.where(self._relu_mask, pre, 0.0)
+        if self._memory is None and out is None:
+            pre = main + short
+            self._relu_mask = pre > 0
+            return np.where(self._relu_mask, pre, 0.0)
+        pre = self._buf("pre", main.shape, np.float64)
+        np.add(main, short, out=pre)
+        mask = self._buf("mask", main.shape, np.bool_)
+        np.greater(pre, 0, out=mask)
+        self._relu_mask = mask
+        y = out if out is not None else self._buf("y", main.shape, np.float64)
+        np.maximum(pre, 0.0, out=y)
+        return y
 
-    def backward(self, grad_out: np.ndarray) -> np.ndarray:
+    def backward(self, grad_out: np.ndarray, out: np.ndarray | None = None) -> np.ndarray:
         if self._relu_mask is None:
             raise RuntimeError("backward called before forward")
-        dpre = np.where(self._relu_mask, grad_out, 0.0)
+        if self._memory is None and out is None:
+            dpre = np.where(self._relu_mask, grad_out, 0.0)
+            self._relu_mask = None
+            dx = self.branch.backward(dpre)
+            if self.shortcut is None:
+                dx = dx + dpre
+            else:
+                dx = dx + self.shortcut.backward(dpre)
+            return dx
+        mask = self._relu_mask
+        dpre = self._buf("dpre", grad_out.shape, np.float64)
+        # mask-multiply + ``+= 0.0`` == np.where(mask, grad, 0.0) bitwise for
+        # finite gradients (the add rewrites -0.0 to the +0.0 where produces)
+        np.multiply(grad_out, mask, out=dpre)
+        dpre += 0.0
         self._relu_mask = None
-        dx = self.branch.backward(dpre)
-        if self.shortcut is None:
-            dx = dx + dpre
-        else:
-            dx = dx + self.shortcut.backward(dpre)
-        return dx
+        dbranch = self.branch.backward(dpre)
+        other = dpre if self.shortcut is None else self.shortcut.backward(dpre)
+        if out is not None:
+            np.add(dbranch, other, out=out)
+            return out
+        # Sum in place into the branch's gradient buffer (a persistent slot
+        # of its first layer, dead until that layer's next backward): one
+        # fewer memory stream than writing a third buffer, same bits.
+        np.add(dbranch, other, out=dbranch)
+        return dbranch

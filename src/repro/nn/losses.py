@@ -32,11 +32,23 @@ class SoftmaxCrossEntropy:
     trains without it, smoothing defaults to 0).
     """
 
+    #: bound memory context (mirrors ``Module._memory``; see repro.nn.memory)
+    _memory = None
+
     def __init__(self, label_smoothing: float = 0.0):
         if not 0.0 <= label_smoothing < 1.0:
             raise ValueError("label_smoothing must be in [0, 1)")
         self.label_smoothing = float(label_smoothing)
         self._cache: tuple | None = None
+
+    def bind_memory(self, memory) -> "SoftmaxCrossEntropy":
+        """Bind a memory context: logits-sized buffers become arena slots."""
+        self._memory = memory
+        return self
+
+    def unbind_memory(self) -> "SoftmaxCrossEntropy":
+        vars(self).pop("_memory", None)
+        return self
 
     def forward(self, logits: np.ndarray, targets: np.ndarray) -> float:
         targets = np.asarray(targets, dtype=np.int64)
@@ -51,7 +63,19 @@ class SoftmaxCrossEntropy:
             return 0.0
         if targets.min() < 0 or targets.max() >= k:
             raise ValueError("target class out of range")
-        logp = log_softmax(logits)
+        mem = self._memory
+        if mem is None:
+            logp = log_softmax(logits)
+        else:
+            # log_softmax with the identical op sequence, into reusable buffers
+            logp = mem.slot(self, "logp", (n, k), np.float64)
+            np.subtract(logits, logits.max(axis=1, keepdims=True), out=logp)
+            t = mem.scratch((n, k), np.float64)
+            np.exp(logp, out=t)
+            s = t.sum(axis=1, keepdims=True)
+            np.log(s, out=s)
+            logp -= s
+            mem.release(t)
         eps = self.label_smoothing
         nll = -logp[np.arange(n), targets]
         if eps > 0.0:
@@ -71,11 +95,25 @@ class SoftmaxCrossEntropy:
         if n == 0:
             self._cache = None
             return np.zeros((0, k))
-        probs = np.exp(logp)
         eps = self.label_smoothing
-        target_dist = np.full((n, k), eps / k)
+        mem = self._memory
+        if mem is None:
+            probs = np.exp(logp)
+            target_dist = np.full((n, k), eps / k)
+            target_dist[np.arange(n), targets] += 1.0 - eps
+            grad = (probs - target_dist) / n
+            self._cache = None
+            return grad
+        probs = mem.scratch((n, k), np.float64)
+        np.exp(logp, out=probs)
+        target_dist = mem.scratch((n, k), np.float64)
+        target_dist[...] = eps / k
         target_dist[np.arange(n), targets] += 1.0 - eps
-        grad = (probs - target_dist) / n
+        grad = mem.slot(self, "dlogits", (n, k), np.float64)
+        np.subtract(probs, target_dist, out=grad)
+        grad /= n
+        mem.release(target_dist)
+        mem.release(probs)
         self._cache = None
         return grad
 

@@ -30,6 +30,8 @@ from .hardware import (
     device,
     network,
 )
+from . import memory
+from .memory import MemoryEstimate, max_batch_size, predict_activation_bytes
 from .overlap import (
     DEFAULT_BUCKET_BYTES,
     OverlapStepEstimate,
@@ -77,6 +79,10 @@ __all__ = [
     "device_throughput",
     "throughput_curve",
     "training_memory_bytes",
+    "memory",
+    "MemoryEstimate",
+    "predict_activation_bytes",
+    "max_batch_size",
     "iterations",
     "messages",
     "comm_volume_bytes",

@@ -206,3 +206,25 @@ class TestClusterMechanics:
             SyncSGDConfig(world=2, epochs=1, batch_size=4, algorithm="nccl")
         with pytest.raises(ValueError):
             SyncSGDConfig(world=3, epochs=1, batch_size=6, algorithm="rhd")
+
+
+class TestStaticMemory:
+    """static_memory=True binds a per-rank arena; results must be bitwise
+    identical to the eager cluster run (and hence to the serial reference)."""
+
+    def static_run(self, world, epochs=2, batch=32, lr=0.1):
+        config = SyncSGDConfig(world=world, epochs=epochs, batch_size=batch,
+                               shuffle_seed=SEED, static_memory=True)
+        return train_sync_sgd(model_builder, sgd_builder, ConstantLR(lr),
+                              _X, _Y, _XT, _YT, config)
+
+    @pytest.mark.parametrize("world", [1, 2])
+    def test_matches_eager_cluster_bitwise(self, world):
+        eager = cluster_run(sgd_builder, world)
+        planned = self.static_run(world)
+        assert max_param_diff(eager.final_state, planned.final_state) == 0.0
+
+    def test_matches_serial_reference(self):
+        ref_state, _ = serial_reference(sgd_builder)
+        planned = self.static_run(2)
+        assert max_param_diff(ref_state, planned.final_state) < 1e-9

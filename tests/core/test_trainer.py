@@ -113,3 +113,40 @@ def test_epoch_permutation_deterministic_and_distinct():
     assert np.array_equal(p0, t.epoch_permutation(50, 0))
     assert not np.array_equal(p0, t.epoch_permutation(50, 1))
     assert sorted(p0) == list(range(50))
+
+
+def make_static_trainer(seed=0, lr=0.1):
+    model = mlp(6, [16], 3, seed=seed)
+    opt = SGD(model.parameters(), momentum=0.9, weight_decay=0.0001)
+    return Trainer(model, opt, ConstantLR(lr), shuffle_seed=seed,
+                   static_memory=True)
+
+
+def test_static_memory_fit_is_bitwise_identical():
+    x, y = toy_problem()
+    eager = make_trainer(seed=5)
+    planned = make_static_trainer(seed=5)
+    r_e = eager.fit(x, y, x, y, epochs=3, batch_size=32)
+    r_p = planned.fit(x, y, x, y, epochs=3, batch_size=32)
+    assert [h.train_loss for h in r_e.history] == [h.train_loss for h in r_p.history]
+    assert [h.test_accuracy for h in r_e.history] == [h.test_accuracy for h in r_p.history]
+    se, sp = eager.model.state_dict(), planned.model.state_dict()
+    for k in se:
+        np.testing.assert_array_equal(se[k], sp[k])
+
+
+def test_static_memory_steady_state_allocates_nothing():
+    x, y = toy_problem()
+    trainer = make_static_trainer()
+    trainer.fit(x, y, x, y, epochs=1, batch_size=32)
+    trainer.train_step(x[:32], y[:32])  # settle eval-shape churn
+    before = trainer.arena_stats()["bytes_allocated"]
+    for _ in range(3):
+        trainer.train_step(x[:32], y[:32])
+    assert trainer.arena_stats()["bytes_allocated"] == before
+
+
+def test_arena_stats_none_when_eager():
+    assert make_trainer().arena_stats() is None
+    stats = make_static_trainer().arena_stats()
+    assert stats == {k: 0 for k in stats}  # untouched arena, all counters zero

@@ -210,3 +210,51 @@ class TestDatasetSpecs:
     def test_unknown_proxy_raises(self):
         with pytest.raises(KeyError):
             proxy_dataset("huge")
+
+
+class TestReusedBatchBuffers:
+    """reuse_buffers=True gathers via np.take(out=...) into one persistent
+    buffer; batch values must be identical to the fancy-indexed default."""
+
+    def data(self, n=100):
+        rng = np.random.default_rng(7)
+        return rng.normal(size=(n, 3, 8, 8)), rng.integers(0, 4, size=n)
+
+    def test_values_identical_to_fancy_indexing(self):
+        x, y = self.data()
+        plain = BatchLoader(x, y, 32, seed=3, auto_advance=False)
+        reused = BatchLoader(x, y, 32, seed=3, auto_advance=False,
+                             reuse_buffers=True)
+        for (xa, ya), (xb, yb) in zip(plain, reused, strict=True):
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_batches_share_one_buffer(self):
+        x, y = self.data()
+        loader = BatchLoader(x, y, 25, seed=3, auto_advance=False,
+                             reuse_buffers=True)
+        bases = {xb.base is None and id(xb) or id(xb.base) for xb, _ in loader}
+        assert len(bases) == 1  # every batch is a view of the same buffer
+
+    def test_short_final_batch_is_prefix_view(self):
+        x, y = self.data(70)  # 32 + 32 + 6
+        loader = BatchLoader(x, y, 32, seed=1, auto_advance=False,
+                             reuse_buffers=True)
+        sizes = [len(yb) for _, yb in loader]
+        assert sizes == [32, 32, 6]
+        plain = BatchLoader(x, y, 32, seed=1, auto_advance=False)
+        for (xa, ya), (xb, yb) in zip(plain, loader, strict=True):
+            np.testing.assert_array_equal(xa, xb)
+            np.testing.assert_array_equal(ya, yb)
+
+    def test_augmented_epochs_match(self):
+        # augmentation draws from the same rng stream either way
+        x, y = self.data()
+        plain = BatchLoader(x, y, 32, seed=5, augment="heavy",
+                            auto_advance=False)
+        reused = BatchLoader(x, y, 32, seed=5, augment="heavy",
+                             auto_advance=False, reuse_buffers=True)
+        for ea, eb in zip(plain.epochs(2), reused.epochs(2), strict=True):
+            for (xa, ya), (xb, yb) in zip(ea, eb, strict=True):
+                np.testing.assert_array_equal(xa, xb)
+                np.testing.assert_array_equal(ya, yb)

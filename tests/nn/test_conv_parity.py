@@ -187,3 +187,65 @@ def test_conv2d_batch_size_change_reallocates_workspace():
     for n in (4, 2, 4):
         x = rng.normal(size=(n, 3, 8, 8))
         np.testing.assert_array_equal(fast.forward(x), slow.forward(x))
+
+
+CLIPPED_GEOMETRIES = [
+    # clipped scatter requires stride < kernel (otherwise the non-overlapping
+    # branch wins) and pad > 0 (otherwise plain col2im never pads)
+    (3, 1, 1),
+    (3, 2, 1),
+    (5, 1, 2),
+    (5, 2, 2),
+    (5, 3, 1),
+]
+
+
+@pytest.mark.parametrize("kernel,stride,pad", CLIPPED_GEOMETRIES)
+def test_col2im_clipped_matches_padded_route(kernel, stride, pad):
+    from repro.nn.layers.conv import col2im_clipped
+
+    x_shape = (2, 3, 9, 9)
+    oh, ow = conv_output_hw(9, 9, kernel, kernel, stride, pad)
+    rng = np.random.default_rng(19)
+    cols = rng.normal(size=(2, 3 * kernel * kernel, oh * ow))
+    out = np.full(x_shape, np.nan)  # poison: must be fully written
+    got = col2im_clipped(cols, x_shape, kernel, kernel, stride, pad, out=out)
+    assert got is out
+    ref = col2im(cols, x_shape, kernel, kernel, stride, pad)
+    np.testing.assert_array_equal(got, ref)
+
+
+@pytest.mark.parametrize("in_c,out_c,kernel,stride,pad,groups", CONV_CASES)
+def test_conv2d_backward_out_buffer(in_c, out_c, kernel, stride, pad, groups):
+    # backward(grad, out=buf) must fill buf with exactly the eager dx and
+    # leave the parameter gradients untouched by the buffer routing.
+    a, b = _pair(in_c, out_c, kernel, stride, pad, groups)
+    rng = np.random.default_rng(23)
+    x = rng.normal(size=(2, in_c, 8, 8))
+    grad = rng.normal(size=(2, *a.output_shape((in_c, 8, 8))))
+
+    a.forward(x)
+    b.forward(x)
+    dx_ref = b.backward(grad)
+    buf = np.full_like(dx_ref, np.nan)
+    dx = a.backward(grad, out=buf)
+    assert dx is buf
+    np.testing.assert_array_equal(dx, dx_ref)
+    np.testing.assert_array_equal(a.weight.grad, b.weight.grad)
+    np.testing.assert_array_equal(a.bias.grad, b.bias.grad)
+
+
+def test_conv2d_backward_workspace_reuse_is_stable():
+    # Successive buffered backwards reuse the same scratch workspace; results
+    # must not drift or pick up stale state from the previous iteration.
+    a, b = _pair(3, 8, 3, 1, 1, 1)
+    rng = np.random.default_rng(29)
+    buf = np.empty((2, 3, 8, 8))
+    for _ in range(3):
+        x = rng.normal(size=(2, 3, 8, 8))
+        a.forward(x)
+        b.forward(x)
+        grad = rng.normal(size=(2, 8, 8, 8))
+        dx_ref = b.backward(grad)
+        np.testing.assert_array_equal(a.backward(grad, out=buf), dx_ref)
+        np.testing.assert_array_equal(a.weight.grad, b.weight.grad)

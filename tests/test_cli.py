@@ -113,3 +113,30 @@ def test_unknown_command_rejected():
 def test_unknown_device_errors():
     with pytest.raises(KeyError):
         main(["predict", "--device", "tpu"])
+
+
+def test_train_check_zero_alloc(capsys):
+    assert main(["train", "--model", "mlp", "--optimizer", "sgd",
+                 "--batch", "32", "--epochs", "1", "--dataset", "tiny",
+                 "--check-zero-alloc"]) == 0
+    out = capsys.readouterr().out
+    assert "zero-alloc check passed" in out
+    assert "train-step plan" in out
+
+
+def test_train_static_memory_matches_eager(capsys):
+    args = ["train", "--model", "mlp", "--optimizer", "sgd",
+            "--batch", "32", "--epochs", "2", "--dataset", "tiny"]
+    assert main(args) == 0
+    eager = capsys.readouterr().out
+    assert main([*args, "--static-memory"]) == 0
+    planned = capsys.readouterr().out
+    # same accuracies line for line: static memory is bitwise-neutral
+    pick = lambda s: [ln for ln in s.splitlines() if "epoch" in ln or "peak" in ln]  # noqa: E731
+    assert pick(eager) == pick(planned)
+
+
+def test_check_zero_alloc_rejects_cluster_runs():
+    with pytest.raises(SystemExit, match="serial"):
+        main(["train", "--model", "mlp", "--world", "2",
+              "--dataset", "tiny", "--epochs", "1", "--check-zero-alloc"])
